@@ -1,0 +1,94 @@
+// Ablations of Approx-DPC's design choices (DESIGN.md experiment index).
+//
+//   A. Joint range search (§4.2) vs per-point range counts: how much of
+//      Approx-DPC's rho-phase win comes from sharing tree traversals.
+//   B. Cost-based LPT partitioning (§4.5) vs plain dynamic scheduling:
+//      the load-balance quality (max/min thread load under the cost
+//      model) and wall time. On 1-core machines only the balance metric
+//      is meaningful.
+//   C. The subset count s of the exact dependent fallback: Equation (2)'s
+//      solution vs forced under/over-partitioning.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "index/grid.h"
+#include "parallel/lpt_scheduler.h"
+
+int main() {
+  using namespace dpc;
+  const eval::BenchConfig cfg = eval::LoadBenchConfig();
+  bench::PrintBanner("Ablation", "Approx-DPC design choices", cfg);
+
+  auto workloads = bench::RealWorkloads(cfg);
+
+  // --- A: joint range search on/off. ---
+  std::printf("A. Joint range search (rho phase time [s]; results identical)\n");
+  {
+    eval::Table table({"dataset", "joint (paper)", "per-point (Ex-DPC style)", "speedup"});
+    for (const auto& w : workloads) {
+      DpcParams params = w.params;
+      params.num_threads = cfg.max_threads;
+      ApproxDpcOptions on;
+      ApproxDpcOptions off;
+      off.joint_range_search = false;
+      const DpcResult a = ApproxDpc(on).Run(w.points, params);
+      const DpcResult b = ApproxDpc(off).Run(w.points, params);
+      table.AddRow({w.name, StrFormat("%.3f", a.stats.rho_seconds),
+                    StrFormat("%.3f", b.stats.rho_seconds),
+                    StrFormat("%.2fx", b.stats.rho_seconds /
+                                           std::max(a.stats.rho_seconds, 1e-9))});
+    }
+    table.Print();
+  }
+
+  // --- B: LPT vs hash partitioning balance. ---
+  std::printf("\nB. Load balancing: LPT vs hash partitioning (cost-model imbalance, "
+              "8 simulated threads)\n");
+  {
+    eval::Table table({"dataset", "LPT makespan/mean", "hash makespan/mean"});
+    for (const auto& w : workloads) {
+      // Cost model of the rho phase: |P(c)| per cell.
+      UniformGrid grid(w.points, w.params.d_cut / std::sqrt(static_cast<double>(w.points.dim())));
+      std::vector<double> costs(static_cast<size_t>(grid.num_cells()));
+      double total = 0.0;
+      for (CellId c = 0; c < grid.num_cells(); ++c) {
+        costs[static_cast<size_t>(c)] = static_cast<double>(grid.members(c).size());
+        total += costs[static_cast<size_t>(c)];
+      }
+      const int threads = 8;
+      const Schedule lpt = LptSchedule(costs, threads);
+      // Hash partitioning: cell id modulo thread (LSH-DDP's strategy).
+      std::vector<double> hash_load(static_cast<size_t>(threads), 0.0);
+      for (size_t c = 0; c < costs.size(); ++c) hash_load[c % threads] += costs[c];
+      double hash_max = 0.0;
+      for (const double l : hash_load) hash_max = std::max(hash_max, l);
+      const double mean = total / threads;
+      table.AddRow({w.name, StrFormat("%.3f", lpt.makespan / mean),
+                    StrFormat("%.3f", hash_max / mean)});
+    }
+    table.Print();
+    std::printf("   (1.0 = perfect balance; LPT should sit at ~1.00, hash above it)\n");
+  }
+
+  // --- C: subset count s. ---
+  std::printf("\nC. Exact-fallback subset count s (delta phase time [s], Household-like)\n");
+  {
+    const auto& w = workloads[1];
+    DpcParams params = w.params;
+    params.num_threads = cfg.max_threads;
+    const int solved = ApproxDpc::SolveNumSubsets(w.points.size(), w.points.dim());
+    eval::Table table({"s", "delta time [s]", "note"});
+    for (const int s : {2, solved / 2 > 2 ? solved / 2 : 3, solved, solved * 4}) {
+      ApproxDpcOptions opt;
+      opt.force_num_subsets = s;
+      const DpcResult r = ApproxDpc(opt).Run(w.points, params);
+      table.AddRow({std::to_string(s), StrFormat("%.3f", r.stats.delta_seconds),
+                    s == solved ? "Equation (2) solution" : ""});
+    }
+    table.Print();
+  }
+  return 0;
+}

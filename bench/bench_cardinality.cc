@@ -1,0 +1,46 @@
+// Figure 7 — running time vs cardinality (sampling rate 0.5 .. 1.0).
+//
+// Reproduces the four subfigures (Airline, Household, PAMAP2, Sensor):
+// each algorithm's total time across uniform sampling rates.
+// Expected shapes:
+//   * Ex-DPC orders of magnitude below Scan/CFSFDP-A (paper: 13-146x),
+//   * Approx-DPC below Ex-DPC and below LSH-DDP (paper: 4-30x),
+//   * S-Approx-DPC fastest, scaling ~linearly with the rate.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace dpc;
+  const eval::BenchConfig cfg = eval::LoadBenchConfig();
+  bench::PrintBanner("Figure 7", "running time [s] vs sampling rate", cfg);
+
+  const std::vector<double> rates = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  for (auto& w : bench::RealWorkloads(cfg)) {
+    std::printf("%s (n=%lld at rate 1.0, d_cut=%.0f)\n", w.name.c_str(),
+                static_cast<long long>(w.points.size()), w.params.d_cut);
+    std::vector<std::string> headers = {"algorithm"};
+    for (const double r : rates) headers.push_back(StrFormat("rate %.1f", r));
+    eval::Table table(headers);
+
+    for (const auto id : bench::AllAlgoIds()) {
+      std::vector<std::string> cells = {bench::AlgoName(id)};
+      for (const double rate : rates) {
+        bench::Workload sub;
+        sub.name = w.name;
+        sub.points = w.points.Sample(rate, 7);
+        sub.params = w.params;
+        const auto run = bench::RunTimed(id, sub, cfg, cfg.max_threads);
+        cells.push_back(bench::FmtSeconds(run.seconds, run.extrapolated));
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("expected shape (Figure 7): Ex-DPC << Scan/CFSFDP-A; "
+              "Approx-DPC < Ex-DPC and < LSH-DDP; S-Approx-DPC lowest and "
+              "~linear in the rate.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8 — running time vs the cutoff distance d_cut.
+//
+// Reproduces the d_cut sweep (500..1500 for Airline/Household/PAMAP2-like,
+// 4000..6000 for Sensor-like). Expected shapes:
+//   * Scan and CFSFDP-A flat (they scan regardless of d_cut),
+//   * LSH-DDP very sensitive (bucket sizes grow with d_cut),
+//   * our algorithms grow mildly (rho_avg term), S-Approx-DPC the least
+//     sensitive (larger d_cut also means fewer grid cells).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace dpc;
+  const eval::BenchConfig cfg = eval::LoadBenchConfig();
+  bench::PrintBanner("Figure 8", "running time [s] vs d_cut", cfg);
+
+  for (auto& w : bench::RealWorkloads(cfg)) {
+    std::vector<double> cuts;
+    if (w.name == "Sensor") {
+      cuts = {4000, 4500, 5000, 5500, 6000};
+    } else {
+      cuts = {500, 750, 1000, 1250, 1500};
+    }
+    std::printf("%s (n=%lld)\n", w.name.c_str(), static_cast<long long>(w.points.size()));
+    std::vector<std::string> headers = {"algorithm"};
+    for (const double c : cuts) headers.push_back(StrFormat("d_cut=%.0f", c));
+    eval::Table table(headers);
+
+    for (const auto id : bench::AllAlgoIds()) {
+      std::vector<std::string> cells = {bench::AlgoName(id)};
+      for (const double d_cut : cuts) {
+        bench::Workload sub;
+        sub.name = w.name;
+        sub.points = w.points;  // same points, different d_cut
+        sub.params = w.params;
+        sub.params.d_cut = d_cut;
+        sub.params.delta_min = 5.0 * d_cut;
+        const auto run = bench::RunTimed(id, sub, cfg, cfg.max_threads);
+        cells.push_back(bench::FmtSeconds(run.seconds, run.extrapolated));
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("expected shape (Figure 8): Scan/CFSFDP-A flat; LSH-DDP very "
+              "sensitive; Ex-DPC/Approx-DPC mildly growing; S-Approx-DPC "
+              "least sensitive.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark micro-benchmarks of the index substrates: kd-tree
+// build / range count / NN, incremental kd-tree insert+NN, R-tree range
+// count, grid build, LSH partitioning. These are the primitive costs
+// behind every row of Tables 1 and 6.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/real_like.h"
+#include "index/dynamic_kdtree.h"
+#include "index/grid.h"
+#include "index/kdtree.h"
+#include "index/lsh.h"
+#include "index/rtree.h"
+
+namespace dpc {
+namespace {
+
+PointSet MakeData(int64_t n, const char* name = "Household") {
+  return data::MakeRealLike(data::RealDatasetSpecByName(name), static_cast<PointId>(n));
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const PointSet ps = MakeData(state.range(0));
+  for (auto _ : state) {
+    KdTree tree(ps);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(50000);
+
+void BM_KdTreeRangeCount(benchmark::State& state) {
+  const PointSet ps = MakeData(20000);
+  KdTree tree(ps);
+  Rng rng(1);
+  int64_t acc = 0;
+  for (auto _ : state) {
+    const PointId q = static_cast<PointId>(rng.NextBounded(static_cast<uint64_t>(ps.size())));
+    acc += tree.RangeCount(ps[q], static_cast<double>(state.range(0)), q);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeRangeCount)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const PointSet ps = MakeData(20000);
+  KdTree tree(ps);
+  Rng rng(2);
+  for (auto _ : state) {
+    const PointId q = static_cast<PointId>(rng.NextBounded(static_cast<uint64_t>(ps.size())));
+    benchmark::DoNotOptimize(tree.Nearest(ps[q], q));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeNearest);
+
+void BM_DynamicKdTreeInsertNearest(benchmark::State& state) {
+  const PointSet ps = MakeData(20000);
+  for (auto _ : state) {
+    DynamicKdTree tree(ps);
+    double acc = 0.0;
+    for (PointId i = 0; i < ps.size(); ++i) {
+      if (i > 0) {
+        double d = 0.0;
+        tree.Nearest(ps[i], &d);
+        acc += d;
+      }
+      tree.Insert(i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * ps.size());
+}
+BENCHMARK(BM_DynamicKdTreeInsertNearest);
+
+void BM_RTreeRangeCount(benchmark::State& state) {
+  const PointSet ps = MakeData(20000);
+  RTree tree(ps);
+  Rng rng(3);
+  int64_t acc = 0;
+  for (auto _ : state) {
+    const PointId q = static_cast<PointId>(rng.NextBounded(static_cast<uint64_t>(ps.size())));
+    acc += tree.RangeCount(ps[q], 1000.0, q);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeRangeCount);
+
+void BM_GridBuild(benchmark::State& state) {
+  const PointSet ps = MakeData(state.range(0));
+  const double side = 1000.0 / std::sqrt(4.0);
+  for (auto _ : state) {
+    UniformGrid grid(ps, side);
+    benchmark::DoNotOptimize(grid.num_cells());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridBuild)->Arg(10000)->Arg(50000);
+
+void BM_LshPartition(benchmark::State& state) {
+  const PointSet ps = MakeData(20000);
+  LshParams params;
+  params.num_tables = 4;
+  params.num_projections = 6;
+  params.bucket_width = 4000.0;
+  for (auto _ : state) {
+    LshPartitioner lsh(ps, params);
+    benchmark::DoNotOptimize(lsh.MemoryBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * ps.size());
+}
+BENCHMARK(BM_LshPartition);
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,82 @@
+// Figure 6 — 2-D visualization of each algorithm's clustering on Syn.
+//
+// The paper's Figure 6 shows the Syn random-walk dataset clustered by
+// Ex-DPC (ground truth), LSH-DDP, Approx-DPC, and S-Approx-DPC at
+// eps in {0.2, 1.0} with d_cut = 250. We cannot render pictures here,
+// so the bench (a) writes labeled CSVs ready for plotting and (b) prints
+// the quantitative counterpart: cluster counts, the number of points
+// whose label differs from Ex-DPC's, and the Rand index.
+//
+// Expected shape: Approx-DPC identical (or near-identical) to Ex-DPC;
+// S-Approx-DPC(0.2) near-identical; S-Approx-DPC(1.0) and LSH-DDP show
+// visible differences — LSH-DDP's being the hardest to explain (it also
+// approximates densities).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "data/io.h"
+#include "eval/rand_index.h"
+#include "eval/svg_plot.h"
+
+int main() {
+  using namespace dpc;
+  const eval::BenchConfig cfg = eval::LoadBenchConfig();
+  bench::PrintBanner("Figure 6", "2-D visualization of clustering results on Syn (d_cut=250)",
+                     cfg);
+
+  bench::Workload w = bench::SynWorkload(cfg);
+  ExDpc exact;
+  DpcParams params = w.params;
+  params.num_threads = cfg.max_threads;
+  const DpcResult ground = exact.Run(w.points, params);
+  std::printf("Syn: n=%lld, Ex-DPC finds %lld clusters (ground truth for this figure)\n\n",
+              static_cast<long long>(w.points.size()),
+              static_cast<long long>(ground.num_clusters()));
+  (void)data::SaveLabeledCsv(w.points, ground.label, "fig6_ex_dpc.csv");
+  {
+    eval::SvgOptions svg;
+    svg.title = "Figure 6(b): Ex-DPC on Syn";
+    (void)eval::WriteScatterSvg(w.points, ground.label, ground.centers,
+                                "fig6_ex_dpc.svg", svg);
+  }
+
+  eval::Table table({"algorithm", "clusters", "labels != Ex-DPC", "RandIdx", "csv"});
+  table.AddRow({"Ex-DPC", std::to_string(ground.num_clusters()), "0", "1.0000",
+                "fig6_ex_dpc.csv"});
+
+  auto report = [&](const char* name, const DpcResult& r, const std::string& csv) {
+    int64_t diff = 0;
+    for (size_t i = 0; i < r.label.size(); ++i) diff += (r.label[i] != ground.label[i]);
+    (void)data::SaveLabeledCsv(w.points, r.label, csv);
+    eval::SvgOptions svg;
+    svg.title = StrFormat("Figure 6: %s on Syn", name);
+    const std::string svg_path = csv.substr(0, csv.size() - 4) + ".svg";
+    (void)eval::WriteScatterSvg(w.points, r.label, r.centers, svg_path, svg);
+    table.AddRow({name, std::to_string(r.num_clusters()), std::to_string(diff),
+                  StrFormat("%.4f", eval::RandIndex(r.label, ground.label)), csv});
+  };
+
+  {
+    LshDdp algo;
+    report("LSH-DDP", algo.Run(w.points, params), "fig6_lsh_ddp.csv");
+  }
+  {
+    ApproxDpc algo;
+    report("Approx-DPC", algo.Run(w.points, params), "fig6_approx_dpc.csv");
+  }
+  for (const double eps : {0.2, 1.0}) {
+    DpcParams p = params;
+    p.epsilon = eps;
+    SApproxDpc algo;
+    report(StrFormat("S-Approx-DPC(eps=%.1f)", eps).c_str(), algo.Run(w.points, p),
+           StrFormat("fig6_s_approx_%.1f.csv", eps));
+  }
+  table.Print();
+  std::printf("\nexpected shape: Approx-DPC ~identical to Ex-DPC (same centers, "
+              "Theorem 4); S-Approx(0.2) ~identical; S-Approx(1.0) minor drift; "
+              "LSH-DDP the largest drift.\nCSV columns: x,y,label; matching "
+              "fig6_*.svg renderings are written alongside (centers drawn as "
+              "stars).\n");
+  return 0;
+}

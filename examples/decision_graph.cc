@@ -1,0 +1,73 @@
+// Decision-graph walkthrough (the Figure 1 workflow of the paper).
+//
+// DPC's selling point: users pick cluster centers *visually*. This
+// example builds an S2-like dataset (15 Gaussian clusters), runs Ex-DPC
+// with a permissive threshold, prints the top of the decision graph —
+// where exactly 15 points tower above everything else — and shows how
+// the automatic threshold helpers recover the same selection headlessly.
+//
+// Build & run:  ./build/examples/decision_graph [output.csv]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/decision_graph.h"
+#include "core/ex_dpc.h"
+#include "data/generators.h"
+#include "eval/rand_index.h"
+
+int main(int argc, char** argv) {
+  // S2-like: 15 Gaussians, mild overlap.
+  dpc::data::GaussianBenchmarkParams gen;
+  gen.num_points = 15000;
+  gen.num_clusters = 15;
+  gen.dim = 2;
+  gen.domain = 1e5;
+  gen.overlap = 0.025;
+  gen.noise_rate = 0.01;
+  gen.seed = 16;  // S2 flavor
+  std::vector<int64_t> truth;
+  const dpc::PointSet points = dpc::data::GaussianBenchmark(gen, &truth);
+
+  dpc::DpcParams params;
+  params.d_cut = 1200.0;
+  params.rho_min = 4.0;
+  params.delta_min = params.d_cut * 1.01;  // permissive: graph first, centers later
+  params.num_threads = 0;
+
+  dpc::ExDpc algo;
+  dpc::DpcResult result = algo.Run(points, params);
+
+  const auto graph = dpc::BuildDecisionGraph(result);
+  std::printf("Decision graph (top 20 of %zu points by dependent distance):\n",
+              graph.size());
+  std::printf("%-8s %-12s %-12s\n", "id", "rho", "delta");
+  for (size_t i = 0; i < graph.size() && i < 20; ++i) {
+    std::printf("%-8lld %-12.1f %-12.1f\n", static_cast<long long>(graph[i].id),
+                graph[i].rho, std::isinf(graph[i].delta) ? 99999.0 : graph[i].delta);
+  }
+  std::printf("... points 1-15 have delta in the tens of thousands, point 16 "
+              "onward collapses to ~d_cut: the visual gap of Figure 1(b).\n\n");
+
+  // Headless selection: ask for exactly 15 centers, or find the knee.
+  const double for_k = dpc::SuggestDeltaMinForK(result, params, 15);
+  const double by_gap = dpc::SuggestDeltaMinByGap(result, params);
+  std::printf("suggested delta_min for k=15 : %.1f\n", for_k);
+  std::printf("suggested delta_min by gap   : %.1f\n", by_gap);
+
+  dpc::DpcParams final_params = params;
+  final_params.delta_min = for_k;
+  dpc::FinalizeClusters(final_params, &result);
+  std::printf("clusters at suggested threshold: %lld\n",
+              static_cast<long long>(result.num_clusters()));
+  std::printf("Rand index vs generating mixture: %.4f\n",
+              dpc::eval::RandIndex(result.label, truth));
+
+  if (argc > 1) {
+    const std::string path = argv[1];
+    const dpc::Status s = dpc::WriteDecisionGraphCsv(graph, path);
+    std::printf("decision graph written to %s (%s)\n", path.c_str(),
+                s.ToString().c_str());
+  }
+  return 0;
+}

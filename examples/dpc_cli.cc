@@ -1,0 +1,188 @@
+// dpc_cli — command-line clustering over CSV files.
+//
+// Usage:
+//   dpc_cli --input points.csv --d-cut 1000 [options]
+//
+// Options:
+//   --input PATH        headerless CSV of coordinates (required unless --demo)
+//   --demo              use a built-in 15-cluster demo dataset instead
+//   --algorithm NAME    scan | rtree-scan | lsh-ddp | cfsfdp-a | ex-dpc |
+//                       approx-dpc (default) | s-approx-dpc
+//   --d-cut X           cutoff distance (required)
+//   --rho-min X         noise threshold (default 10)
+//   --delta-min X       center threshold (default: auto via decision-graph gap)
+//   --epsilon X         S-Approx-DPC approximation parameter (default 1.0)
+//   --threads N         worker threads (default: all)
+//   --k N               instead of --delta-min: pick exactly N centers
+//   --output PATH       write "x0,...,xd-1,label" CSV
+//   --decision-graph P  write the decision graph CSV
+//   --halo              also report cluster core/halo sizes
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/decision_graph.h"
+#include "core/halo.h"
+#include "core/registry.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "eval/cluster_stats.h"
+
+namespace {
+
+struct CliArgs {
+  std::string input;
+  bool demo = false;
+  std::string algorithm = "approx-dpc";
+  double d_cut = -1.0;
+  double rho_min = 10.0;
+  double delta_min = -1.0;  // auto
+  double epsilon = 1.0;
+  int threads = 0;
+  int k = 0;
+  std::string output;
+  std::string decision_graph;
+  bool halo = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --input points.csv --d-cut X [--algorithm NAME] "
+               "[--rho-min X] [--delta-min X | --k N] [--epsilon X] "
+               "[--threads N] [--output out.csv] [--decision-graph dg.csv] "
+               "[--halo] [--demo]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    if (a == "--input" && i + 1 < argc) {
+      args->input = argv[++i];
+    } else if (a == "--demo") {
+      args->demo = true;
+    } else if (a == "--algorithm" && i + 1 < argc) {
+      args->algorithm = argv[++i];
+    } else if (a == "--d-cut") {
+      if (!next(&args->d_cut)) return false;
+    } else if (a == "--rho-min") {
+      if (!next(&args->rho_min)) return false;
+    } else if (a == "--delta-min") {
+      if (!next(&args->delta_min)) return false;
+    } else if (a == "--epsilon") {
+      if (!next(&args->epsilon)) return false;
+    } else if (a == "--threads" && i + 1 < argc) {
+      args->threads = std::atoi(argv[++i]);
+    } else if (a == "--k" && i + 1 < argc) {
+      args->k = std::atoi(argv[++i]);
+    } else if (a == "--output" && i + 1 < argc) {
+      args->output = argv[++i];
+    } else if (a == "--decision-graph" && i + 1 < argc) {
+      args->decision_graph = argv[++i];
+    } else if (a == "--halo") {
+      args->halo = true;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  if (args.input.empty() && !args.demo) return Usage(argv[0]);
+
+  dpc::PointSet points(1);
+  if (args.demo) {
+    dpc::data::GaussianBenchmarkParams gen;
+    gen.num_points = 20000;
+    gen.num_clusters = 15;
+    gen.noise_rate = 0.01;
+    points = dpc::data::GaussianBenchmark(gen);
+    if (args.d_cut <= 0.0) args.d_cut = 1200.0;
+    std::printf("demo dataset: 15 Gaussian clusters, n=20000, domain [0,1e5]^2\n");
+  } else {
+    auto loaded = dpc::data::LoadCsv(args.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    points = std::move(loaded).value();
+  }
+  if (args.d_cut <= 0.0) {
+    std::fprintf(stderr, "error: --d-cut is required and must be positive\n");
+    return Usage(argv[0]);
+  }
+
+  auto algo = dpc::MakeAlgorithmByName(args.algorithm);
+  if (!algo.ok()) {
+    std::fprintf(stderr, "error: %s\n", algo.status().ToString().c_str());
+    return 1;
+  }
+
+  dpc::DpcParams params;
+  params.d_cut = args.d_cut;
+  params.rho_min = args.rho_min;
+  params.epsilon = args.epsilon;
+  params.num_threads = args.threads;
+  // Provisional threshold; refined below when auto/k mode is active.
+  const bool auto_threshold = args.delta_min <= args.d_cut;
+  params.delta_min = auto_threshold ? args.d_cut * 1.0000001 : args.delta_min;
+  if (const dpc::Status s = params.Validate(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  dpc::DpcResult result = algo.value()->Run(points, params);
+
+  if (auto_threshold) {
+    const double suggested = args.k > 0
+                                 ? dpc::SuggestDeltaMinForK(result, params, args.k)
+                                 : dpc::SuggestDeltaMinByGap(result, params);
+    params.delta_min = suggested;
+    dpc::FinalizeClusters(params, &result);
+    std::printf("auto delta_min = %.6g (%s)\n", suggested,
+                args.k > 0 ? "for requested k" : "largest decision-graph gap");
+  }
+
+  const auto summary = dpc::eval::Summarize(result);
+  std::printf("%s on %lld points (d=%d): %s\n", std::string(algo.value()->name()).c_str(),
+              static_cast<long long>(points.size()), points.dim(),
+              dpc::eval::ToString(summary).c_str());
+  std::printf("time: total %.3fs (build %.3f, rho %.3f, delta %.3f)\n",
+              result.stats.total_seconds, result.stats.build_seconds,
+              result.stats.rho_seconds, result.stats.delta_seconds);
+
+  if (args.halo) {
+    const dpc::HaloResult halo = dpc::ComputeHalo(points, result, params.d_cut);
+    for (int64_t c = 0; c < result.num_clusters(); ++c) {
+      std::printf("cluster %lld: halo %lld points (border density %.1f)\n",
+                  static_cast<long long>(c),
+                  static_cast<long long>(halo.halo_size[static_cast<size_t>(c)]),
+                  halo.border_density[static_cast<size_t>(c)]);
+    }
+  }
+
+  if (!args.output.empty()) {
+    const dpc::Status s = dpc::data::SaveLabeledCsv(points, result.label, args.output);
+    std::printf("labels -> %s (%s)\n", args.output.c_str(), s.ToString().c_str());
+  }
+  if (!args.decision_graph.empty()) {
+    const dpc::Status s =
+        dpc::WriteDecisionGraphCsv(dpc::BuildDecisionGraph(result), args.decision_graph);
+    std::printf("decision graph -> %s (%s)\n", args.decision_graph.c_str(),
+                s.ToString().c_str());
+  }
+  return 0;
+}
