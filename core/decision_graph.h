@@ -1,0 +1,140 @@
+// Decision-graph utilities (paper Figure 1): the (rho, delta) scatter on
+// which users pick centers visually, plus headless threshold helpers so
+// pipelines can reproduce the visual selection. Re-thresholding reuses
+// DpcResult's stored rho/delta/dependency via FinalizeClusters — no
+// re-clustering needed.
+#ifndef DPC_CORE_DECISION_GRAPH_H_
+#define DPC_CORE_DECISION_GRAPH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/status.h"
+
+namespace dpc {
+
+struct DecisionGraphEntry {
+  PointId id = -1;
+  double rho = 0.0;
+  double delta = 0.0;
+};
+
+/// The full decision graph, sorted by delta descending (rho breaks ties)
+/// so the candidate centers top the list.
+inline std::vector<DecisionGraphEntry> BuildDecisionGraph(const DpcResult& result) {
+  std::vector<DecisionGraphEntry> graph;
+  graph.reserve(result.rho.size());
+  for (size_t i = 0; i < result.rho.size(); ++i) {
+    graph.push_back(DecisionGraphEntry{static_cast<PointId>(i), result.rho[i],
+                                       result.delta[i]});
+  }
+  std::sort(graph.begin(), graph.end(),
+            [](const DecisionGraphEntry& a, const DecisionGraphEntry& b) {
+              if (a.delta != b.delta) return a.delta > b.delta;
+              if (a.rho != b.rho) return a.rho > b.rho;
+              return a.id < b.id;
+            });
+  return graph;
+}
+
+inline Status WriteDecisionGraphCsv(const std::vector<DecisionGraphEntry>& graph,
+                                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for writing");
+  std::fprintf(f, "id,rho,delta\n");
+  for (const auto& e : graph) {
+    std::fprintf(f, "%lld,%.17g,%.17g\n", static_cast<long long>(e.id), e.rho,
+                 e.delta);
+  }
+  if (std::fclose(f) != 0) return Status::IoError("error closing " + path);
+  return Status::Ok();
+}
+
+namespace internal {
+
+/// Deltas of center-eligible points (rho >= rho_min), sorted descending;
+/// +inf (the global peak) is kept — comparisons against it behave.
+inline std::vector<double> EligibleDeltasDesc(const DpcResult& result,
+                                              const DpcParams& params) {
+  std::vector<double> deltas;
+  deltas.reserve(result.rho.size());
+  for (size_t i = 0; i < result.rho.size(); ++i) {
+    if (result.rho[i] >= params.rho_min) deltas.push_back(result.delta[i]);
+  }
+  std::sort(deltas.begin(), deltas.end(), std::greater<double>());
+  return deltas;
+}
+
+}  // namespace internal
+
+/// A delta_min that selects exactly k centers (the k eligible points with
+/// the largest delta): the midpoint of the gap below the k-th delta.
+inline double SuggestDeltaMinForK(const DpcResult& result, const DpcParams& params,
+                                  int k) {
+  // Never suggest a threshold at or below d_cut: grid-based algorithms
+  // approximate non-peak deltas by distances <= d_cut (cell diameter), so
+  // a lower threshold would mint centers Ex-DPC could never produce. When
+  // fewer than k eligible points sit above d_cut, the clamp wins and the
+  // selection yields as many centers as honestly exist.
+  const double floor = params.d_cut * (1.0 + 1e-9);
+  const std::vector<double> deltas = internal::EligibleDeltasDesc(result, params);
+  const size_t kk = static_cast<size_t>(k > 0 ? k : 1);
+  if (deltas.empty()) return params.d_cut * 1.5;
+  if (kk >= deltas.size()) {
+    return std::max(std::nextafter(deltas.back(), 0.0), floor);
+  }
+  const double upper = deltas[kk - 1];
+  const double lower = deltas[kk];
+  if (std::isinf(upper)) {
+    // k covers only +inf entries; anything above the next finite delta works.
+    return std::isinf(lower) ? lower : std::max(lower * 2.0 + 1.0, floor);
+  }
+  return std::max(0.5 * (upper + lower), floor);
+}
+
+/// A delta_min at the widest gap of the sorted decision-graph deltas —
+/// the "visual gap" a human would pick on Figure 1(b). Only the top of
+/// the graph is scanned; +inf entries count as just above the largest
+/// finite delta.
+inline double SuggestDeltaMinByGap(const DpcResult& result, const DpcParams& params) {
+  std::vector<double> deltas = internal::EligibleDeltasDesc(result, params);
+  if (deltas.size() < 2) return params.d_cut * 1.5;
+  double max_finite = params.d_cut;
+  for (const double d : deltas) {
+    if (!std::isinf(d)) {
+      max_finite = std::max(max_finite, d);
+      break;  // sorted descending: first finite value is the largest
+    }
+  }
+  for (double& d : deltas) {
+    if (std::isinf(d)) d = max_finite * 1.05;
+  }
+  // Deltas span orders of magnitude (center deltas ~ cluster separation,
+  // the rest ~ d_cut), so the visual gap is a *relative* one: maximize the
+  // ratio between consecutive deltas and cut at their geometric mean.
+  const size_t scan = std::min<size_t>(deltas.size() - 1, 256);
+  double best_ratio = -1.0;
+  double best_threshold = params.d_cut * 1.5;
+  for (size_t i = 0; i < scan; ++i) {
+    // Gaps that would admit centers at or below d_cut are grid noise, skip.
+    if (deltas[i] <= params.d_cut) break;
+    const double lower = std::max(deltas[i + 1], 0.25 * params.d_cut);
+    const double ratio = deltas[i] / lower;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_threshold = std::sqrt(deltas[i] * lower);
+    }
+  }
+  // The threshold must stay above d_cut so grid-approximated deltas
+  // (<= d_cut by construction) can never be selected as centers.
+  return std::max(best_threshold, params.d_cut * (1.0 + 1e-9));
+}
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_DECISION_GRAPH_H_

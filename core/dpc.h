@@ -1,0 +1,231 @@
+// Core vocabulary of the density-peaks clustering (DPC) library
+// reproducing Amagata & Hara, "Fast Density-Peaks Clustering:
+// Multicore-based Parallelization Approach" (SIGMOD'21).
+//
+// DPC assigns each point p
+//   rho(p)   — local density: |{q != p : dist(p, q) <= d_cut}|
+//   delta(p) — dependent distance: distance to the nearest point denser
+//              than p (+inf for the globally densest point)
+// Centers are the points with rho >= rho_min and delta >= delta_min;
+// every other non-noise point joins the cluster of its dependent point
+// (its nearest denser neighbor). Points with rho < rho_min are noise.
+//
+// Ties in rho are broken by point id (smaller id counts as denser), which
+// makes every phase — and therefore every label — deterministic for a
+// fixed input, independent of thread count.
+#ifndef DPC_CORE_DPC_H_
+#define DPC_CORE_DPC_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace dpc {
+
+using PointId = int64_t;
+
+/// Label values with special meaning in DpcResult::label.
+inline constexpr int64_t kNoise = -1;
+inline constexpr int64_t kUnassigned = -2;
+
+/// A dense row-major set of dim-dimensional points.
+class PointSet {
+ public:
+  explicit PointSet(int dim) : dim_(dim > 0 ? dim : 1) {}
+
+  PointId size() const {
+    return static_cast<PointId>(coords_.size()) / dim_;
+  }
+  int dim() const { return dim_; }
+  bool empty() const { return coords_.empty(); }
+
+  const double* operator[](PointId i) const {
+    return coords_.data() + static_cast<size_t>(i) * static_cast<size_t>(dim_);
+  }
+  double* MutablePoint(PointId i) {
+    return coords_.data() + static_cast<size_t>(i) * static_cast<size_t>(dim_);
+  }
+  double Coord(PointId i, int d) const { return (*this)[i][d]; }
+
+  void Reserve(PointId n) {
+    coords_.reserve(static_cast<size_t>(n) * static_cast<size_t>(dim_));
+  }
+  /// Appends one point; p must hold dim() doubles.
+  void Add(const double* p) { coords_.insert(coords_.end(), p, p + dim_); }
+  /// Appends one uninitialized point and returns its mutable storage.
+  double* AddUninitialized() {
+    coords_.resize(coords_.size() + static_cast<size_t>(dim_));
+    return coords_.data() + coords_.size() - static_cast<size_t>(dim_);
+  }
+
+  /// A deterministic Bernoulli(fraction) subsample (order-preserving).
+  PointSet Sample(double fraction, uint64_t seed) const {
+    PointSet out(dim_);
+    if (fraction >= 1.0) {
+      out.coords_ = coords_;
+      return out;
+    }
+    Rng rng(seed);
+    const PointId n = size();
+    out.Reserve(static_cast<PointId>(static_cast<double>(n) * fraction) + 16);
+    for (PointId i = 0; i < n; ++i) {
+      if (rng.NextDouble() < fraction) out.Add((*this)[i]);
+    }
+    return out;
+  }
+
+  const std::vector<double>& raw() const { return coords_; }
+
+ private:
+  int dim_;
+  std::vector<double> coords_;
+};
+
+inline double SquaredDistance(const double* a, const double* b, int dim) {
+  double s = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline double Distance(const double* a, const double* b, int dim) {
+  return std::sqrt(SquaredDistance(a, b, dim));
+}
+
+/// User-facing knobs, shared by every algorithm.
+struct DpcParams {
+  double d_cut = 0.0;      ///< density ball radius (> 0)
+  double rho_min = 0.0;    ///< points below this density are noise
+  double delta_min = 0.0;  ///< center threshold on the decision graph (> d_cut)
+  double epsilon = 1.0;    ///< S-Approx-DPC approximation knob (ignored elsewhere)
+  int num_threads = 0;     ///< 0 = all hardware threads
+
+  Status Validate() const {
+    if (!(d_cut > 0.0)) {
+      return Status::InvalidArgument("d_cut must be positive");
+    }
+    if (rho_min < 0.0) {
+      return Status::InvalidArgument("rho_min must be non-negative");
+    }
+    if (!(delta_min > d_cut)) {
+      return Status::InvalidArgument(
+          "delta_min must exceed d_cut (grid-based algorithms guarantee "
+          "exact centers only above the cell diameter)");
+    }
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    if (num_threads < 0) {
+      return Status::InvalidArgument("num_threads must be >= 0");
+    }
+    return Status::Ok();
+  }
+};
+
+/// Per-phase wall times plus index footprint, filled by every Run().
+struct DpcStats {
+  double build_seconds = 0.0;  ///< index (kd-tree / grid) construction
+  double rho_seconds = 0.0;    ///< local-density phase
+  double delta_seconds = 0.0;  ///< dependent-distance phase
+  double label_seconds = 0.0;  ///< center selection + label propagation
+  double total_seconds = 0.0;
+  size_t index_memory_bytes = 0;
+};
+
+/// Full clustering output. rho/delta/dependency are retained so callers
+/// can re-threshold (FinalizeClusters) without re-running the expensive
+/// phases — the decision-graph workflow of the paper's Figure 1.
+struct DpcResult {
+  std::vector<int64_t> label;      ///< cluster id, kNoise, or kUnassigned
+  std::vector<double> rho;         ///< local density per point
+  std::vector<double> delta;       ///< dependent distance (+inf for the peak)
+  std::vector<PointId> dependency; ///< nearest denser neighbor (-1 for the peak)
+  std::vector<PointId> centers;    ///< point id of each cluster center
+  DpcStats stats;
+
+  int64_t num_clusters() const { return static_cast<int64_t>(centers.size()); }
+  bool is_noise(PointId i) const { return label[static_cast<size_t>(i)] == kNoise; }
+};
+
+class DpcAlgorithm {
+ public:
+  virtual ~DpcAlgorithm() = default;
+  virtual std::string_view name() const = 0;
+  virtual DpcResult Run(const PointSet& points, const DpcParams& params) = 0;
+};
+
+/// True iff q ranks denser than p (rho desc, id asc tie-break). This is
+/// the total order used for dependency targets everywhere.
+inline bool DenserThan(double rho_q, PointId q, double rho_p, PointId p) {
+  return rho_q > rho_p || (rho_q == rho_p && q < p);
+}
+
+/// Ids sorted densest-first under DenserThan.
+inline std::vector<PointId> DensityOrder(const std::vector<double>& rho) {
+  std::vector<PointId> order(rho.size());
+  std::iota(order.begin(), order.end(), PointId{0});
+  std::sort(order.begin(), order.end(), [&rho](PointId a, PointId b) {
+    return DenserThan(rho[static_cast<size_t>(a)], a, rho[static_cast<size_t>(b)], b);
+  });
+  return order;
+}
+
+/// (Re)derives centers and labels from rho/delta/dependency — the cheap
+/// final phase, shared by all algorithms and by decision-graph
+/// re-thresholding. Requires rho/delta/dependency to be filled.
+inline void FinalizeClusters(const DpcParams& params, DpcResult* result) {
+  const size_t n = result->rho.size();
+  result->centers.clear();
+  result->label.assign(n, kNoise);
+  const std::vector<PointId> order = DensityOrder(result->rho);
+  for (const PointId id : order) {
+    const size_t i = static_cast<size_t>(id);
+    if (result->rho[i] < params.rho_min) continue;  // noise
+    if (result->delta[i] >= params.delta_min) {
+      result->label[i] = static_cast<int64_t>(result->centers.size());
+      result->centers.push_back(id);
+    } else {
+      const PointId dep = result->dependency[i];
+      // dep is denser than id, hence already labeled and never noise
+      // (rho[dep] >= rho[id] >= rho_min); dep == -1 only for the global
+      // peak, whose delta is +inf >= delta_min.
+      result->label[i] = dep >= 0 ? result->label[static_cast<size_t>(dep)] : kNoise;
+    }
+  }
+}
+
+namespace internal {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double Lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace internal
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_DPC_H_

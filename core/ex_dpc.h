@@ -1,0 +1,92 @@
+// Ex-DPC: the paper's exact kd-tree algorithm (§3).
+//
+//   rho   — exact range count on the kd-tree (self excluded).
+//   delta — exact nearest-denser-neighbor search: a kd-tree NN query that
+//           only accepts candidates ranking denser under DenserThan().
+//           The globally densest point gets delta = +inf.
+//   label — center selection by (rho_min, delta_min), then propagation
+//           along dependency chains in density order.
+//
+// Both per-point phases are embarrassingly parallel over the immutable
+// tree; num_threads workers split the id range statically.
+#ifndef DPC_CORE_EX_DPC_H_
+#define DPC_CORE_EX_DPC_H_
+
+#include <limits>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/parallel_for.h"
+#include "index/kdtree.h"
+
+namespace dpc {
+
+class ExDpc : public DpcAlgorithm {
+ public:
+  std::string_view name() const override { return "Ex-DPC"; }
+
+  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+    DpcResult result;
+    const PointId n = points.size();
+    result.rho.assign(static_cast<size_t>(n), 0.0);
+    result.delta.assign(static_cast<size_t>(n),
+                        std::numeric_limits<double>::infinity());
+    result.dependency.assign(static_cast<size_t>(n), PointId{-1});
+
+    internal::WallTimer total;
+    internal::WallTimer phase;
+    KdTree tree;
+    tree.Build(points);
+    result.stats.build_seconds = phase.Lap();
+    result.stats.index_memory_bytes = tree.MemoryBytes();
+
+    // rho: range count minus the point itself.
+    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+      for (PointId i = begin; i < end; ++i) {
+        result.rho[static_cast<size_t>(i)] = static_cast<double>(
+            tree.RangeCount(points[i], params.d_cut) - 1);
+      }
+    });
+    result.stats.rho_seconds = phase.Lap();
+
+    // delta: exact nearest denser neighbor.
+    ComputeExactDeltas(points, tree, result.rho, params.num_threads,
+                       &result.delta, &result.dependency);
+    result.stats.delta_seconds = phase.Lap();
+
+    FinalizeClusters(params, &result);
+    result.stats.label_seconds = phase.Lap();
+    result.stats.total_seconds = total.Seconds();
+    return result;
+  }
+
+  /// Exact delta/dependency for every point (used by Approx-DPC for cell
+  /// peaks as well; pass `only` to restrict the computation to a subset).
+  static void ComputeExactDeltas(const PointSet& points, const KdTree& tree,
+                                 const std::vector<double>& rho, int num_threads,
+                                 std::vector<double>* delta,
+                                 std::vector<PointId>* dependency,
+                                 const std::vector<PointId>* only = nullptr) {
+    const PointId count =
+        only != nullptr ? static_cast<PointId>(only->size()) : points.size();
+    internal::ParallelFor(count, num_threads, [&](PointId begin, PointId end) {
+      for (PointId k = begin; k < end; ++k) {
+        const PointId i = only != nullptr ? (*only)[static_cast<size_t>(k)] : k;
+        const double rho_i = rho[static_cast<size_t>(i)];
+        double dist = std::numeric_limits<double>::infinity();
+        const PointId nn = tree.NearestAccepted(
+            points[i],
+            [&rho, rho_i, i](PointId j) {
+              return DenserThan(rho[static_cast<size_t>(j)], j, rho_i, i);
+            },
+            &dist);
+        (*delta)[static_cast<size_t>(i)] = dist;
+        (*dependency)[static_cast<size_t>(i)] = nn;
+      }
+    });
+  }
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_EX_DPC_H_

@@ -1,0 +1,44 @@
+// Tiny static-partition parallel-for used by the per-point phases (rho,
+// delta). The paper's algorithms are embarrassingly parallel across points
+// once the index is built; a static split over std::thread is enough until
+// the dedicated parallel/ work-stealing layer lands.
+#ifndef DPC_CORE_PARALLEL_FOR_H_
+#define DPC_CORE_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace dpc::internal {
+
+/// 0 (or negative) requests all hardware threads.
+inline int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+/// Calls fn(begin, end) on num_threads disjoint chunks of [0, n).
+/// fn must be safe to call concurrently on disjoint ranges.
+template <typename Fn>
+void ParallelFor(int64_t n, int num_threads, const Fn& fn) {
+  const int threads = ResolveThreads(num_threads);
+  if (threads <= 1 || n < 2048) {
+    fn(int64_t{0}, n);
+    return;
+  }
+  const int64_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int64_t begin = t * chunk;
+    if (begin >= n) break;
+    const int64_t end = begin + chunk < n ? begin + chunk : n;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace dpc::internal
+
+#endif  // DPC_CORE_PARALLEL_FOR_H_

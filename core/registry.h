@@ -1,0 +1,75 @@
+// Name-based algorithm factory for CLIs and config-driven pipelines.
+// Names mirror the paper's algorithm menu; entries whose implementation
+// lands in a later PR (the scan/LSH baselines, S-Approx-DPC) are
+// registered but report UNIMPLEMENTED so callers get a precise error
+// instead of a typo-shaped NOT_FOUND.
+#ifndef DPC_CORE_REGISTRY_H_
+#define DPC_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/approx_dpc.h"
+#include "core/dpc.h"
+#include "core/ex_dpc.h"
+#include "core/status.h"
+
+namespace dpc {
+
+namespace internal {
+
+struct AlgorithmEntry {
+  const char* name;
+  std::unique_ptr<DpcAlgorithm> (*factory)();  ///< nullptr = planned
+};
+
+/// Single source of truth: implemented entries carry a factory, planned
+/// ones a nullptr. Landing an algorithm means filling in one slot here.
+inline const std::vector<AlgorithmEntry>& AlgorithmTable() {
+  static const std::vector<AlgorithmEntry> kTable = {
+      {"ex-dpc", [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<ExDpc>()); }},
+      {"approx-dpc",
+       [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<ApproxDpc>()); }},
+      {"scan", nullptr},
+      {"rtree-scan", nullptr},
+      {"lsh-ddp", nullptr},
+      {"cfsfdp-a", nullptr},
+      {"s-approx-dpc", nullptr},
+  };
+  return kTable;
+}
+
+}  // namespace internal
+
+/// Names accepted by MakeAlgorithmByName, implemented ones first.
+inline std::vector<std::string> RegisteredAlgorithmNames() {
+  std::vector<std::string> names;
+  for (const auto& entry : internal::AlgorithmTable()) names.emplace_back(entry.name);
+  return names;
+}
+
+inline StatusOr<std::unique_ptr<DpcAlgorithm>> MakeAlgorithmByName(
+    const std::string& name) {
+  for (const auto& entry : internal::AlgorithmTable()) {
+    if (name != entry.name) continue;
+    if (entry.factory == nullptr) {
+      return Status::Unimplemented(
+          "algorithm '" + name +
+          "' is planned but not built yet (tracked for the baselines/"
+          "S-Approx-DPC PRs; build with -DDPC_BUILD_BENCH=ON once it lands)");
+    }
+    return entry.factory();
+  }
+  std::string menu;
+  for (const auto& entry : internal::AlgorithmTable()) {
+    if (!menu.empty()) menu += ", ";
+    menu += entry.name;
+  }
+  return Status::NotFound("unknown algorithm '" + name + "'; expected one of: " +
+                          menu);
+}
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_REGISTRY_H_

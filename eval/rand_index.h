@@ -1,0 +1,83 @@
+// Pair-counting agreement between two labelings: Rand index and its
+// chance-adjusted variant (ARI, Hubert & Arabie). Labels are compared
+// verbatim — noise (-1) behaves as one extra cluster on each side, which
+// is the convention the paper's quality tables use. Contingency-table
+// formulation, O(n + #distinct label pairs).
+#ifndef DPC_EVAL_RAND_INDEX_H_
+#define DPC_EVAL_RAND_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dpc::eval {
+
+namespace internal {
+
+inline double PairsOf(double x) { return 0.5 * x * (x - 1.0); }
+
+struct PairCounts {
+  double n = 0;
+  double sum_cells = 0;  ///< sum over contingency cells of C(n_ij, 2)
+  double sum_rows = 0;   ///< sum over labels of a of C(n_i., 2)
+  double sum_cols = 0;   ///< sum over labels of b of C(n_.j, 2)
+};
+
+inline PairCounts CountPairs(const std::vector<int64_t>& a,
+                             const std::vector<int64_t>& b) {
+  PairCounts out;
+  out.n = static_cast<double>(a.size());
+  std::unordered_map<int64_t, int64_t> rows, cols;
+  std::unordered_map<uint64_t, int64_t> cells;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ++rows[a[i]];
+    ++cols[b[i]];
+    // Labels fit in 32 bits; packing the pair keeps the key collision-free.
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(a[i])) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(b[i]));
+    ++cells[key];
+  }
+  for (const auto& [label, count] : rows) {
+    out.sum_rows += PairsOf(static_cast<double>(count));
+  }
+  for (const auto& [label, count] : cols) {
+    out.sum_cols += PairsOf(static_cast<double>(count));
+  }
+  for (const auto& [key, count] : cells) {
+    out.sum_cells += PairsOf(static_cast<double>(count));
+  }
+  return out;
+}
+
+}  // namespace internal
+
+/// Fraction of point pairs on which the labelings agree; 1.0 = identical
+/// partitions. Requires a.size() == b.size() and at least 2 points.
+inline double RandIndex(const std::vector<int64_t>& a,
+                        const std::vector<int64_t>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const auto c = internal::CountPairs(a, b);
+  const double total = internal::PairsOf(c.n);
+  // agreements = pairs together in both + pairs apart in both
+  const double together_both = c.sum_cells;
+  const double apart_both = total - c.sum_rows - c.sum_cols + c.sum_cells;
+  return (together_both + apart_both) / total;
+}
+
+/// Adjusted Rand index: 1.0 = identical, ~0 = chance-level agreement.
+inline double AdjustedRandIndex(const std::vector<int64_t>& a,
+                                const std::vector<int64_t>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const auto c = internal::CountPairs(a, b);
+  const double total = internal::PairsOf(c.n);
+  const double expected = c.sum_rows * c.sum_cols / total;
+  const double max_index = 0.5 * (c.sum_rows + c.sum_cols);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both partitions are trivial and equal
+  return (c.sum_cells - expected) / denom;
+}
+
+}  // namespace dpc::eval
+
+#endif  // DPC_EVAL_RAND_INDEX_H_

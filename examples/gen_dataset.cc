@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   long long n = 0;
   double noise = -1.0;
   uint64_t seed = 42;
+  bool seed_set = false;
   bool binary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
       noise = std::atof(argv[++i]);
     } else if (a == "--seed" && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      seed_set = true;
     } else if (a == "--binary") {
       binary = true;
     } else {
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   } else if (kind.size() == 2 && kind[0] == 's' && kind[1] >= '1' && kind[1] <= '4') {
     dpc::data::GaussianBenchmarkParams p;
     p.num_points = n > 0 ? n : 5000;
+    p.num_clusters = 15;  // the S-family is 15 Gaussians (Tables 2-3)
     p.overlap = 0.015 + 0.01 * (kind[1] - '0');
     if (noise >= 0.0) p.noise_rate = noise;
     p.seed = seed;
@@ -77,9 +80,15 @@ int main(int argc, char** argv) {
     std::string name = kind;
     name[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
     if (name == "Pamap2") name = "PAMAP2";
-    const auto& spec = dpc::data::RealDatasetSpecByName(name);
-    points = dpc::data::MakeRealLike(spec, n > 0 ? n : spec.default_cardinality);
-    std::printf("d_cut default for %s: %.0f\n", spec.name.c_str(), spec.default_d_cut);
+    const dpc::data::RealDatasetSpec* spec = dpc::data::FindRealDatasetSpec(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());
+      return Usage(argv[0]);
+    }
+    points = dpc::data::MakeRealLike(*spec, n > 0 ? n : spec->default_cardinality,
+                                     seed_set ? seed : 0, noise);
+    std::printf("d_cut default for %s: %.0f\n", spec->name.c_str(),
+                spec->default_d_cut);
   }
 
   const dpc::Status s = binary ? dpc::data::SaveBinary(points, output)

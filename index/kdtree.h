@@ -1,0 +1,232 @@
+// Bulk-loaded kd-tree (Ex-DPC's index, paper §3). Supports the three
+// queries the algorithms need:
+//
+//   * RangeCount   — |ball(q, r)|, with whole-subtree accounting: a node
+//                    whose bounding box lies entirely inside the ball
+//                    contributes its subtree size without visiting points
+//                    (this is what makes the rho phase subquadratic).
+//   * RangeReport  — ids inside ball(q, r).
+//   * NearestAccepted — nearest neighbor among points satisfying a caller
+//                    predicate; used for the delta phase, where the
+//                    predicate is "denser than the query point".
+//
+// The tree is immutable after Build() and safe for concurrent queries.
+#ifndef DPC_INDEX_KDTREE_H_
+#define DPC_INDEX_KDTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/dpc.h"
+
+namespace dpc {
+
+class KdTree {
+ public:
+  static constexpr int kLeafSize = 32;
+
+  KdTree() = default;
+
+  void Build(const PointSet& points) {
+    points_ = &points;
+    dim_ = points.dim();
+    const PointId n = points.size();
+    perm_.resize(static_cast<size_t>(n));
+    for (PointId i = 0; i < n; ++i) perm_[static_cast<size_t>(i)] = i;
+    nodes_.clear();
+    boxes_.clear();
+    nodes_.reserve(static_cast<size_t>(2 * n / kLeafSize + 4));
+    if (n > 0) BuildNode(0, n);
+  }
+
+  /// Number of points within distance r of q (q itself included when it
+  /// is a member of the indexed set).
+  PointId RangeCount(const double* q, double r) const {
+    if (nodes_.empty()) return 0;
+    PointId count = 0;
+    CountRec(0, q, r * r, &count);
+    return count;
+  }
+
+  /// Appends the ids of all points within distance r of q to *out.
+  void RangeReport(const double* q, double r, std::vector<PointId>* out) const {
+    if (nodes_.empty()) return;
+    ReportRec(0, q, r * r, out);
+  }
+
+  /// Nearest point to q among those with accept(id) == true; returns -1
+  /// when no point is accepted. *out_dist receives the distance.
+  template <typename Accept>
+  PointId NearestAccepted(const double* q, const Accept& accept,
+                          double* out_dist) const {
+    PointId best = -1;
+    double best_sq = std::numeric_limits<double>::infinity();
+    if (!nodes_.empty()) NearestRec(0, q, accept, &best, &best_sq);
+    if (out_dist != nullptr) {
+      *out_dist = best >= 0 ? std::sqrt(best_sq)
+                            : std::numeric_limits<double>::infinity();
+    }
+    return best;
+  }
+
+  size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) + boxes_.capacity() * sizeof(double) +
+           perm_.capacity() * sizeof(PointId);
+  }
+
+ private:
+  struct Node {
+    PointId begin = 0;       // range in perm_
+    PointId end = 0;
+    int32_t left = -1;       // child node indices; -1 for leaves
+    int32_t right = -1;
+    int32_t box = 0;         // offset into boxes_ (2 * dim_ doubles: lo, hi)
+  };
+
+  int32_t BuildNode(PointId begin, PointId end) {
+    const int32_t id = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    Node node;
+    node.begin = begin;
+    node.end = end;
+    node.box = static_cast<int32_t>(boxes_.size());
+    boxes_.resize(boxes_.size() + static_cast<size_t>(2 * dim_));
+    double* lo = boxes_.data() + node.box;
+    double* hi = lo + dim_;
+    for (int d = 0; d < dim_; ++d) {
+      lo[d] = std::numeric_limits<double>::infinity();
+      hi[d] = -std::numeric_limits<double>::infinity();
+    }
+    for (PointId i = begin; i < end; ++i) {
+      const double* p = (*points_)[perm_[static_cast<size_t>(i)]];
+      for (int d = 0; d < dim_; ++d) {
+        lo[d] = std::min(lo[d], p[d]);
+        hi[d] = std::max(hi[d], p[d]);
+      }
+    }
+    if (end - begin > kLeafSize) {
+      // Split at the median of the widest dimension.
+      int split_dim = 0;
+      double widest = -1.0;
+      for (int d = 0; d < dim_; ++d) {
+        const double w = hi[d] - lo[d];
+        if (w > widest) {
+          widest = w;
+          split_dim = d;
+        }
+      }
+      const PointId mid = begin + (end - begin) / 2;
+      std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                       perm_.begin() + end, [this, split_dim](PointId a, PointId b) {
+                         return (*points_)[a][split_dim] < (*points_)[b][split_dim];
+                       });
+      // boxes_ may reallocate during recursion; don't hold lo/hi across it.
+      const int32_t left = BuildNode(begin, mid);
+      const int32_t right = BuildNode(mid, end);
+      node.left = left;
+      node.right = right;
+    }
+    nodes_[static_cast<size_t>(id)] = node;
+    return id;
+  }
+
+  /// Squared distance from q to the node's bounding box (0 if inside).
+  double MinSqToBox(const Node& node, const double* q) const {
+    const double* lo = boxes_.data() + node.box;
+    const double* hi = lo + dim_;
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      double diff = 0.0;
+      if (q[d] < lo[d]) {
+        diff = lo[d] - q[d];
+      } else if (q[d] > hi[d]) {
+        diff = q[d] - hi[d];
+      }
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  /// Squared distance from q to the farthest corner of the box.
+  double MaxSqToBox(const Node& node, const double* q) const {
+    const double* lo = boxes_.data() + node.box;
+    const double* hi = lo + dim_;
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      const double diff = std::max(q[d] - lo[d], hi[d] - q[d]);
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  void CountRec(int32_t ni, const double* q, double r_sq, PointId* count) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    if (MinSqToBox(node, q) > r_sq) return;
+    if (MaxSqToBox(node, q) <= r_sq) {
+      *count += node.end - node.begin;  // whole subtree inside the ball
+      return;
+    }
+    if (node.left < 0) {
+      for (PointId i = node.begin; i < node.end; ++i) {
+        const PointId id = perm_[static_cast<size_t>(i)];
+        if (SquaredDistance(q, (*points_)[id], dim_) <= r_sq) ++*count;
+      }
+      return;
+    }
+    CountRec(node.left, q, r_sq, count);
+    CountRec(node.right, q, r_sq, count);
+  }
+
+  void ReportRec(int32_t ni, const double* q, double r_sq,
+                 std::vector<PointId>* out) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    if (MinSqToBox(node, q) > r_sq) return;
+    if (node.left < 0 || MaxSqToBox(node, q) <= r_sq) {
+      for (PointId i = node.begin; i < node.end; ++i) {
+        const PointId id = perm_[static_cast<size_t>(i)];
+        if (SquaredDistance(q, (*points_)[id], dim_) <= r_sq) out->push_back(id);
+      }
+      return;
+    }
+    ReportRec(node.left, q, r_sq, out);
+    ReportRec(node.right, q, r_sq, out);
+  }
+
+  template <typename Accept>
+  void NearestRec(int32_t ni, const double* q, const Accept& accept, PointId* best,
+                  double* best_sq) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    if (MinSqToBox(node, q) >= *best_sq) return;
+    if (node.left < 0) {
+      for (PointId i = node.begin; i < node.end; ++i) {
+        const PointId id = perm_[static_cast<size_t>(i)];
+        if (!accept(id)) continue;
+        const double d_sq = SquaredDistance(q, (*points_)[id], dim_);
+        if (d_sq < *best_sq) {
+          *best_sq = d_sq;
+          *best = id;
+        }
+      }
+      return;
+    }
+    // Descend the nearer child first so the bound tightens early.
+    const double dl = MinSqToBox(nodes_[static_cast<size_t>(node.left)], q);
+    const double dr = MinSqToBox(nodes_[static_cast<size_t>(node.right)], q);
+    const int32_t first = dl <= dr ? node.left : node.right;
+    const int32_t second = dl <= dr ? node.right : node.left;
+    NearestRec(first, q, accept, best, best_sq);
+    NearestRec(second, q, accept, best, best_sq);
+  }
+
+  const PointSet* points_ = nullptr;
+  int dim_ = 0;
+  std::vector<PointId> perm_;
+  std::vector<Node> nodes_;
+  std::vector<double> boxes_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_INDEX_KDTREE_H_

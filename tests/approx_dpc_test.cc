@@ -1,0 +1,62 @@
+// Approx-DPC vs Ex-DPC: identical centers (the paper's exactness claim),
+// label agreement >= 0.95 Rand index, and valid structural invariants.
+#include <cstdio>
+#include <vector>
+
+#include "core/approx_dpc.h"
+#include "core/ex_dpc.h"
+#include "eval/cluster_stats.h"
+#include "eval/rand_index.h"
+#include "data/generators.h"
+#include "tests/test_util.h"
+
+int main() {
+  dpc::data::GaussianBenchmarkParams gen;
+  gen.num_points = 12000;
+  gen.num_clusters = 8;
+  gen.dim = 2;
+  gen.overlap = 0.02;
+  gen.noise_rate = 0.02;
+  gen.seed = 5;
+  const dpc::PointSet points = dpc::data::GaussianBenchmark(gen);
+
+  dpc::DpcParams params;
+  params.d_cut = 1500.0;
+  params.rho_min = 5.0;
+  params.delta_min = 8000.0;
+  params.num_threads = 0;
+
+  dpc::ExDpc exact;
+  dpc::ApproxDpc approx;
+  const dpc::DpcResult ex = exact.Run(points, params);
+  const dpc::DpcResult ap = approx.Run(points, params);
+
+  // rho is exact in both algorithms, so it must agree bitwise.
+  CHECK(ex.rho == ap.rho);
+
+  // Approx-DPC's headline property: the same centers as Ex-DPC.
+  CHECK(ex.centers == ap.centers);
+  CHECK(ex.num_clusters() >= 8);  // 8 planted blobs; overlap may split ties
+
+  // Non-center deltas are approximate, but labels must agree strongly.
+  const double rand = dpc::eval::RandIndex(ap.label, ex.label);
+  std::printf("rand index approx vs exact: %.5f\n", rand);
+  CHECK(rand >= 0.95);
+
+  // Structural invariants: every non-noise point reaches its cluster via
+  // a denser dependency, and noise is exactly the sub-rho_min set.
+  for (size_t i = 0; i < ap.label.size(); ++i) {
+    if (ap.rho[i] < params.rho_min) {
+      CHECK_EQ(ap.label[i], dpc::kNoise);
+      continue;
+    }
+    CHECK(ap.label[i] >= 0);
+    const dpc::PointId dep = ap.dependency[i];
+    if (dep >= 0) {
+      CHECK(dpc::DenserThan(ap.rho[static_cast<size_t>(dep)], dep, ap.rho[i],
+                            static_cast<dpc::PointId>(i)));
+    }
+  }
+  std::printf("approx_dpc_test OK\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Determinism guarantees: identical results across repeated runs AND
+// across thread counts (the parallel phases only write disjoint per-point
+// slots; ties are broken by id, never by arrival order).
+#include <cstdio>
+#include <vector>
+
+#include "core/approx_dpc.h"
+#include "core/ex_dpc.h"
+#include "data/generators.h"
+#include "tests/test_util.h"
+
+namespace {
+
+void CheckSameResult(const dpc::DpcResult& a, const dpc::DpcResult& b) {
+  CHECK(a.label == b.label);
+  CHECK(a.rho == b.rho);
+  CHECK(a.delta == b.delta);
+  CHECK(a.dependency == b.dependency);
+  CHECK(a.centers == b.centers);
+}
+
+}  // namespace
+
+int main() {
+  dpc::data::GaussianBenchmarkParams gen;
+  gen.num_points = 8000;
+  gen.num_clusters = 6;
+  gen.noise_rate = 0.02;
+  gen.seed = 99;
+  const dpc::PointSet points = dpc::data::GaussianBenchmark(gen);
+
+  // Same seed => bit-identical dataset.
+  const dpc::PointSet again = dpc::data::GaussianBenchmark(gen);
+  CHECK(points.raw() == again.raw());
+
+  dpc::DpcParams params;
+  params.d_cut = 1500.0;
+  params.rho_min = 5.0;
+  params.delta_min = 8000.0;
+
+  for (const bool approx : {false, true}) {
+    dpc::ExDpc exact_algo;
+    dpc::ApproxDpc approx_algo;
+    dpc::DpcAlgorithm& algo =
+        approx ? static_cast<dpc::DpcAlgorithm&>(approx_algo)
+               : static_cast<dpc::DpcAlgorithm&>(exact_algo);
+
+    params.num_threads = 1;
+    const dpc::DpcResult serial = algo.Run(points, params);
+    const dpc::DpcResult serial2 = algo.Run(points, params);
+    CheckSameResult(serial, serial2);
+
+    params.num_threads = 4;
+    const dpc::DpcResult parallel = algo.Run(points, params);
+    CheckSameResult(serial, parallel);
+
+    CHECK(serial.num_clusters() > 0);
+  }
+
+  std::printf("determinism_test OK\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// data/io.h round-trips (CSV and binary) and eval/ metric sanity
+// (Rand index, ARI, cluster summaries).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dpc.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "eval/cluster_stats.h"
+#include "eval/rand_index.h"
+#include "tests/test_util.h"
+
+namespace {
+
+void TestIoRoundTrip() {
+  dpc::data::GaussianBenchmarkParams gen;
+  gen.num_points = 500;
+  gen.dim = 3;
+  gen.seed = 8;
+  const dpc::PointSet points = dpc::data::GaussianBenchmark(gen);
+
+  const std::string csv = "io_eval_test.csv";
+  const std::string bin = "io_eval_test.bin";
+  CHECK(dpc::data::SaveCsv(points, csv).ok());
+  CHECK(dpc::data::SaveBinary(points, bin).ok());
+
+  auto from_csv = dpc::data::LoadCsv(csv);
+  CHECK(from_csv.ok());
+  CHECK_EQ(from_csv.value().size(), points.size());
+  CHECK_EQ(from_csv.value().dim(), points.dim());
+  for (dpc::PointId i = 0; i < points.size(); ++i) {
+    for (int d = 0; d < points.dim(); ++d) {
+      // %.17g round-trips doubles exactly.
+      CHECK_EQ(from_csv.value().Coord(i, d), points.Coord(i, d));
+    }
+  }
+
+  auto from_bin = dpc::data::LoadBinary(bin);
+  CHECK(from_bin.ok());
+  CHECK(from_bin.value().raw() == points.raw());
+
+  // Labeled CSV: one row per point, trailing label column.
+  std::vector<int64_t> label(static_cast<size_t>(points.size()), 0);
+  label[0] = dpc::kNoise;
+  CHECK(dpc::data::SaveLabeledCsv(points, label, csv).ok());
+  auto labeled = dpc::data::LoadCsv(csv);
+  CHECK(labeled.ok());
+  CHECK_EQ(labeled.value().dim(), points.dim() + 1);
+  CHECK_EQ(static_cast<int64_t>(labeled.value().Coord(0, points.dim())),
+           dpc::kNoise);
+
+  CHECK(!dpc::data::LoadCsv("does_not_exist.csv").ok());
+  std::remove(csv.c_str());
+  std::remove(bin.c_str());
+}
+
+void TestMetrics() {
+  const std::vector<int64_t> a = {0, 0, 0, 1, 1, 1, 2, 2, -1};
+  // Identical partitions (under relabeling) score 1.0 on both metrics.
+  const std::vector<int64_t> relabeled = {5, 5, 5, 3, 3, 3, 7, 7, 9};
+  CHECK_NEAR(dpc::eval::RandIndex(a, relabeled), 1.0, 1e-12);
+  CHECK_NEAR(dpc::eval::AdjustedRandIndex(a, relabeled), 1.0, 1e-12);
+
+  // Known hand-computed case: merge clusters 1 and 2 of `a`.
+  const std::vector<int64_t> merged = {0, 0, 0, 1, 1, 1, 1, 1, -1};
+  // Disagreeing pairs: the 6 (cluster-1 x cluster-2) pairs; total C(9,2)=36.
+  CHECK_NEAR(dpc::eval::RandIndex(a, merged), 30.0 / 36.0, 1e-12);
+  CHECK(dpc::eval::AdjustedRandIndex(a, merged) < 1.0);
+  CHECK(dpc::eval::AdjustedRandIndex(a, merged) > 0.0);
+
+  // Chance-level agreement: ARI near 0, far below Rand.
+  const std::vector<int64_t> left = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int64_t> across = {0, 1, 0, 1, 0, 1, 0, 1};
+  CHECK(std::fabs(dpc::eval::AdjustedRandIndex(left, across)) < 0.2);
+
+  dpc::DpcResult result;
+  result.label = {0, 0, 1, 1, 1, dpc::kNoise, dpc::kUnassigned};
+  result.centers = {0, 2};
+  const auto summary = dpc::eval::Summarize(result);
+  CHECK_EQ(summary.num_points, 7);
+  CHECK_EQ(summary.num_clusters, 2);
+  CHECK_EQ(summary.num_noise, 1);
+  CHECK_EQ(summary.num_unassigned, 1);
+  CHECK_EQ(summary.largest_cluster, 3);
+  CHECK(!dpc::eval::ToString(summary).empty());
+}
+
+}  // namespace
+
+int main() {
+  TestIoRoundTrip();
+  TestMetrics();
+  std::printf("io_eval_test OK\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Assertion macros for the dependency-free ctest units. A failed CHECK
+// prints the expression and location and exits non-zero, which ctest
+// reports as the test failure.
+#ifndef DPC_TESTS_TEST_UTIL_H_
+#define DPC_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                   \
+      std::exit(1);                                                          \
+    }                                                                        \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                        \
+  do {                                                                        \
+    const auto va = (a);                                                      \
+    const auto vb = (b);                                                      \
+    if (!(va == vb)) {                                                        \
+      std::fprintf(stderr,                                                    \
+                   "CHECK_EQ failed at %s:%d: %s == %s (%.17g vs %.17g)\n",   \
+                   __FILE__, __LINE__, #a, #b, static_cast<double>(va),       \
+                   static_cast<double>(vb));                                  \
+      std::exit(1);                                                           \
+    }                                                                         \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                                 \
+  do {                                                                        \
+    const double va = (a);                                                    \
+    const double vb = (b);                                                    \
+    if (!(std::fabs(va - vb) <= (tol))) {                                     \
+      std::fprintf(stderr,                                                    \
+                   "CHECK_NEAR failed at %s:%d: |%s - %s| = %.17g > %.17g\n", \
+                   __FILE__, __LINE__, #a, #b, std::fabs(va - vb),            \
+                   static_cast<double>(tol));                                 \
+      std::exit(1);                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // DPC_TESTS_TEST_UTIL_H_
