@@ -1,0 +1,85 @@
+// CFSFDP-A baseline (§6): CFSFDP with an approximate density phase.
+//
+// rho is estimated by counting neighbors only among a fixed Bernoulli
+// sample of the input and scaling by the inverse sampling rate — the
+// classic way to cut the quadratic density pass by a constant factor.
+// The dependent-point pass is the SAME quadratic scan as the Scan
+// baseline (internal::QuadraticDeltas), which is why CFSFDP-A stays
+// Theta(n^2) overall in the paper's Table 1 while its rho phase sits
+// below Scan's in Table 6.
+//
+// The sample is drawn with the stateless per-point hash (core/rng.h), so
+// the estimate — and every downstream label — is deterministic and
+// thread-count independent.
+#ifndef DPC_BASELINES_CFSFDP_A_H_
+#define DPC_BASELINES_CFSFDP_A_H_
+
+#include <limits>
+#include <vector>
+
+#include "baselines/scan_dpc.h"
+#include "core/dpc.h"
+#include "core/parallel_for.h"
+#include "core/rng.h"
+
+namespace dpc {
+
+class CfsfdpA : public DpcAlgorithm {
+ public:
+  /// Fraction of points the density estimate counts against.
+  static constexpr double kSampleRate = 0.25;
+  static constexpr uint64_t kSampleSeed = 0xcf5fd9a5ULL;
+
+  std::string_view name() const override { return "CFSFDP-A"; }
+
+  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+    DpcResult result;
+    const PointId n = points.size();
+    const int dim = points.dim();
+    result.rho.assign(static_cast<size_t>(n), 0.0);
+    result.delta.assign(static_cast<size_t>(n),
+                        std::numeric_limits<double>::infinity());
+    result.dependency.assign(static_cast<size_t>(n), PointId{-1});
+
+    internal::WallTimer total;
+    internal::WallTimer phase;
+    std::vector<PointId> sample;
+    sample.reserve(static_cast<size_t>(static_cast<double>(n) * kSampleRate) + 16);
+    for (PointId j = 0; j < n; ++j) {
+      if (HashToUnit(kSampleSeed, static_cast<uint64_t>(j)) < kSampleRate) {
+        sample.push_back(j);
+      }
+    }
+    result.stats.build_seconds = phase.Lap();
+    result.stats.index_memory_bytes = sample.capacity() * sizeof(PointId);
+
+    // rho: scaled count of sampled neighbors (self excluded when sampled).
+    const double r_sq = params.d_cut * params.d_cut;
+    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+      for (PointId i = begin; i < end; ++i) {
+        PointId count = 0;
+        for (const PointId j : sample) {
+          if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
+            ++count;
+          }
+        }
+        result.rho[static_cast<size_t>(i)] =
+            static_cast<double>(count) / kSampleRate;
+      }
+    });
+    result.stats.rho_seconds = phase.Lap();
+
+    internal::QuadraticDeltas(points, result.rho, params.num_threads,
+                              &result.delta, &result.dependency);
+    result.stats.delta_seconds = phase.Lap();
+
+    FinalizeClusters(params, &result);
+    result.stats.label_seconds = phase.Lap();
+    result.stats.total_seconds = total.Seconds();
+    return result;
+  }
+};
+
+}  // namespace dpc
+
+#endif  // DPC_BASELINES_CFSFDP_A_H_

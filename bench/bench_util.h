@@ -73,7 +73,10 @@ inline Workload SynWorkload(const eval::BenchConfig& cfg, double noise_rate = 0.
 /// (index 1..4), 5000 points scaled.
 inline Workload SxWorkload(const eval::BenchConfig& cfg, int index) {
   Workload w;
-  w.name = "S" + std::to_string(index);
+  // Built char-wise: gcc-12 flags string-literal concatenation here with
+  // a spurious -Wrestrict.
+  w.name.push_back('S');
+  w.name += std::to_string(index);
   data::GaussianBenchmarkParams p;
   p.num_points = cfg.Scaled(20000);
   p.num_clusters = 15;

@@ -1,0 +1,31 @@
+// Shared hash functors for integer-coordinate keys. Both grid cells
+// (index/grid.h) and LSH bucket keys (index/lsh.h) are vector<int64_t>
+// coordinates hashed into an unordered_map whose equality check is the
+// full coordinate comparison — collisions can never merge distinct keys.
+#ifndef DPC_COMMON_HASH_H_
+#define DPC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpc {
+
+/// FNV-1a over the little-endian bytes of each coordinate.
+struct Int64VectorHash {
+  size_t operator()(const std::vector<int64_t>& coords) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (const int64_t c : coords) {
+      uint64_t v = static_cast<uint64_t>(c);
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xffULL;
+        h *= 1099511628211ULL;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace dpc
+
+#endif  // DPC_COMMON_HASH_H_

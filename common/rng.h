@@ -1,0 +1,10 @@
+// common/ re-export of the deterministic RNG. The generator itself lives
+// in core/rng.h (algorithms depend on it); this header exists so layers
+// above core — benches, tools, partitioners — can spell the dependency
+// as common/ without reaching into core.
+#ifndef DPC_COMMON_RNG_H_
+#define DPC_COMMON_RNG_H_
+
+#include "core/rng.h"  // IWYU pragma: export
+
+#endif  // DPC_COMMON_RNG_H_

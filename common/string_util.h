@@ -1,0 +1,56 @@
+// Small string helpers shared by benches, examples, and tools. Kept in
+// common/ (not core/) because nothing on an algorithm hot path may
+// allocate strings.
+#ifndef DPC_COMMON_STRING_UTIL_H_
+#define DPC_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dpc {
+
+/// printf-style formatting into a std::string. Output longer than the
+/// stack buffer falls back to a heap buffer of the exact size.
+inline std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string StrFormat(const char* fmt, ...) {
+  char stack_buf[256];
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
+    va_end(args_copy);
+    return std::string(stack_buf, static_cast<size_t>(needed));
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+/// Splits on a single character; empty fields are kept.
+inline std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpc
+
+#endif  // DPC_COMMON_STRING_UTIL_H_

@@ -20,14 +20,13 @@
 #define DPC_CORE_APPROX_DPC_H_
 
 #include <cmath>
-#include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
 #include "core/parallel_for.h"
+#include "index/grid.h"
 #include "index/kdtree.h"
 
 namespace dpc {
@@ -50,28 +49,11 @@ class ApproxDpc : public DpcAlgorithm {
     KdTree tree;
     tree.Build(points);
 
-    // Grid: map each point to its cell. Cell width d_cut/sqrt(dim) bounds
-    // the cell diameter by d_cut. Keys are the exact integer cell
-    // coordinates (hash collisions fall back to coordinate equality), so
-    // distant cells can never silently merge.
-    const double cell_width = params.d_cut / std::sqrt(static_cast<double>(dim));
-    std::unordered_map<CellCoords, std::vector<PointId>, CellCoordsHash> cells;
-    cells.reserve(static_cast<size_t>(n) / 4 + 16);
-    CellCoords key;
-    for (PointId i = 0; i < n; ++i) {
-      key.assign(static_cast<size_t>(dim), 0);
-      for (int d = 0; d < dim; ++d) {
-        key[static_cast<size_t>(d)] =
-            static_cast<int64_t>(std::floor(points[i][d] / cell_width));
-      }
-      cells[key].push_back(i);
-    }
+    // Grid with cell side d_cut/sqrt(dim), bounding the cell diameter by
+    // d_cut (index/grid.h — shared with S-Approx-DPC).
+    const UniformGrid grid(points, params.d_cut / std::sqrt(static_cast<double>(dim)));
     result.stats.build_seconds = phase.Lap();
-    size_t grid_bytes =
-        cells.size() * (sizeof(CellCoords) + static_cast<size_t>(dim) * sizeof(int64_t) +
-                        sizeof(std::vector<PointId>));
-    grid_bytes += static_cast<size_t>(n) * sizeof(PointId);
-    result.stats.index_memory_bytes = tree.MemoryBytes() + grid_bytes;
+    result.stats.index_memory_bytes = tree.MemoryBytes() + grid.MemoryBytes();
 
     // rho: exact range count, as in Ex-DPC.
     internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
@@ -85,17 +67,17 @@ class ApproxDpc : public DpcAlgorithm {
     // delta: cell peaks get the exact search, everyone else snaps to its
     // cell peak.
     std::vector<PointId> peaks;
-    peaks.reserve(cells.size());
-    for (const auto& [key, members] : cells) {
-      PointId peak = members.front();
-      for (const PointId i : members) {
+    peaks.reserve(grid.num_cells());
+    for (const auto& cell : grid.cells()) {
+      PointId peak = cell.members.front();
+      for (const PointId i : cell.members) {
         if (DenserThan(result.rho[static_cast<size_t>(i)], i,
                        result.rho[static_cast<size_t>(peak)], peak)) {
           peak = i;
         }
       }
       peaks.push_back(peak);
-      for (const PointId i : members) {
+      for (const PointId i : cell.members) {
         if (i == peak) continue;
         result.dependency[static_cast<size_t>(i)] = peak;
         result.delta[static_cast<size_t>(i)] =
@@ -111,23 +93,6 @@ class ApproxDpc : public DpcAlgorithm {
     result.stats.total_seconds = total.Seconds();
     return result;
   }
-
- private:
-  using CellCoords = std::vector<int64_t>;
-
-  struct CellCoordsHash {
-    size_t operator()(const CellCoords& coords) const {
-      uint64_t h = 1469598103934665603ULL;  // FNV-1a over the coord bytes
-      for (const int64_t c : coords) {
-        uint64_t v = static_cast<uint64_t>(c);
-        for (int b = 0; b < 8; ++b) {
-          h ^= (v >> (8 * b)) & 0xffULL;
-          h *= 1099511628211ULL;
-        }
-      }
-      return static_cast<size_t>(h);
-    }
-  };
 };
 
 }  // namespace dpc

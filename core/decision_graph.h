@@ -24,6 +24,9 @@ struct DecisionGraphEntry {
   double delta = 0.0;
 };
 
+/// The name the bench layer uses for one (rho, delta) scatter point.
+using DecisionPoint = DecisionGraphEntry;
+
 /// The full decision graph, sorted by delta descending (rho breaks ties)
 /// so the candidate centers top the list.
 inline std::vector<DecisionGraphEntry> BuildDecisionGraph(const DpcResult& result) {

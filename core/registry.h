@@ -1,8 +1,7 @@
 // Name-based algorithm factory for CLIs and config-driven pipelines.
-// Names mirror the paper's algorithm menu; entries whose implementation
-// lands in a later PR (the scan/LSH baselines, S-Approx-DPC) are
-// registered but report UNIMPLEMENTED so callers get a precise error
-// instead of a typo-shaped NOT_FOUND.
+// Names mirror the paper's algorithm menu; every entry is implemented.
+// Adding an algorithm means adding one table slot here (and a registry
+// test run picks it up automatically).
 #ifndef DPC_CORE_REGISTRY_H_
 #define DPC_CORE_REGISTRY_H_
 
@@ -10,9 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "baselines/cfsfdp_a.h"
+#include "baselines/lsh_ddp.h"
+#include "baselines/scan_dpc.h"
 #include "core/approx_dpc.h"
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
+#include "core/s_approx_dpc.h"
 #include "core/status.h"
 
 namespace dpc {
@@ -21,28 +24,32 @@ namespace internal {
 
 struct AlgorithmEntry {
   const char* name;
-  std::unique_ptr<DpcAlgorithm> (*factory)();  ///< nullptr = planned
+  std::unique_ptr<DpcAlgorithm> (*factory)();
 };
 
-/// Single source of truth: implemented entries carry a factory, planned
-/// ones a nullptr. Landing an algorithm means filling in one slot here.
+/// Single source of truth: landing an algorithm means adding one slot
+/// here.
 inline const std::vector<AlgorithmEntry>& AlgorithmTable() {
   static const std::vector<AlgorithmEntry> kTable = {
       {"ex-dpc", [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<ExDpc>()); }},
       {"approx-dpc",
        [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<ApproxDpc>()); }},
-      {"scan", nullptr},
-      {"rtree-scan", nullptr},
-      {"lsh-ddp", nullptr},
-      {"cfsfdp-a", nullptr},
-      {"s-approx-dpc", nullptr},
+      {"s-approx-dpc",
+       [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<SApproxDpc>()); }},
+      {"scan", [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<ScanDpc>()); }},
+      {"rtree-scan",
+       [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<RtreeScanDpc>()); }},
+      {"lsh-ddp",
+       [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<LshDdp>()); }},
+      {"cfsfdp-a",
+       [] { return std::unique_ptr<DpcAlgorithm>(std::make_unique<CfsfdpA>()); }},
   };
   return kTable;
 }
 
 }  // namespace internal
 
-/// Names accepted by MakeAlgorithmByName, implemented ones first.
+/// Names accepted by MakeAlgorithmByName, the paper's algorithms first.
 inline std::vector<std::string> RegisteredAlgorithmNames() {
   std::vector<std::string> names;
   for (const auto& entry : internal::AlgorithmTable()) names.emplace_back(entry.name);
@@ -52,14 +59,7 @@ inline std::vector<std::string> RegisteredAlgorithmNames() {
 inline StatusOr<std::unique_ptr<DpcAlgorithm>> MakeAlgorithmByName(
     const std::string& name) {
   for (const auto& entry : internal::AlgorithmTable()) {
-    if (name != entry.name) continue;
-    if (entry.factory == nullptr) {
-      return Status::Unimplemented(
-          "algorithm '" + name +
-          "' is planned but not built yet (tracked for the baselines/"
-          "S-Approx-DPC PRs; build with -DDPC_BUILD_BENCH=ON once it lands)");
-    }
-    return entry.factory();
+    if (name == entry.name) return entry.factory();
   }
   std::string menu;
   for (const auto& entry : internal::AlgorithmTable()) {

@@ -48,6 +48,9 @@ class Rng {
   /// Uniform integer in [0, n).
   uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : NextU64() % n; }
 
+  /// Alias for NextBelow, matching the name the bench/ layer uses.
+  uint64_t NextBounded(uint64_t n) { return NextBelow(n); }
+
   /// Standard normal via Box-Muller (one value per call; cache the pair).
   double NextGaussian() {
     if (has_cached_) {
@@ -71,6 +74,19 @@ class Rng {
   double cached_ = 0.0;
   bool has_cached_ = false;
 };
+
+/// One splitmix64-mixed uniform double in [0, 1) from (seed, index) — a
+/// stateless per-point coin for deterministic subsampling (S-Approx-DPC
+/// cell sampling, CFSFDP-A's density sample). Thresholding it yields
+/// nested samples: the set kept at a lower rate is a subset of any
+/// higher rate's, independent of thread count and iteration order.
+inline double HashToUnit(uint64_t seed, uint64_t index) {
+  uint64_t z = seed ^ (index + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
 
 }  // namespace dpc
 

@@ -1,0 +1,146 @@
+// S-Approx-DPC: the sampling-based variant of Approx-DPC (paper §5),
+// with the epsilon knob trading dependent-phase work for label accuracy.
+//
+// The skeleton is Approx-DPC's grid (cells of side d_cut/sqrt(dim), cell
+// diameter <= d_cut): rho is exact, non-peak points snap to their cell
+// peak, and only cell peaks run a nearest-denser-neighbor search. The
+// epsilon knob subsamples the CANDIDATE SET of that search: each cell
+// contributes its peak unconditionally plus a
+//     keep_rate = 1 / (1 + 4 * epsilon)
+// fraction of its remaining members (stateless per-point hash, so samples
+// are NESTED: a larger epsilon's candidates are a subset of a smaller
+// epsilon's). Peaks then search a kd-tree over only the kept points, so
+// the dependent phase shrinks roughly linearly in keep_rate.
+//
+// Accuracy properties, relative to Ex-DPC:
+//   * epsilon -> 0 keeps every point, collapsing to Approx-DPC exactly;
+//   * a peak's delta is computed over a SUBSET of points, hence is an
+//     overestimate that exceeds the exact value by at most d_cut + the
+//     distance to the nearest denser CELL PEAK (cell peaks are always
+//     candidates);
+//   * centers are never lost (delta only grows); a spurious center can
+//     appear only when an exact peak delta falls within that margin below
+//     delta_min — with the usual delta_min >> d_cut, centers match
+//     Ex-DPC's exactly, and only dependency targets (label attachment of
+//     non-center peaks) drift with epsilon.
+#ifndef DPC_CORE_S_APPROX_DPC_H_
+#define DPC_CORE_S_APPROX_DPC_H_
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/parallel_for.h"
+#include "core/rng.h"
+#include "index/grid.h"
+#include "index/kdtree.h"
+
+namespace dpc {
+
+class SApproxDpc : public DpcAlgorithm {
+ public:
+  static constexpr uint64_t kSampleSeed = 0x5a94d9cULL;
+
+  std::string_view name() const override { return "S-Approx-DPC"; }
+
+  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+    DpcResult result;
+    const PointId n = points.size();
+    const int dim = points.dim();
+    result.rho.assign(static_cast<size_t>(n), 0.0);
+    result.delta.assign(static_cast<size_t>(n),
+                        std::numeric_limits<double>::infinity());
+    result.dependency.assign(static_cast<size_t>(n), PointId{-1});
+
+    internal::WallTimer total;
+    internal::WallTimer phase;
+    KdTree tree;
+    tree.Build(points);
+    const UniformGrid grid(points, params.d_cut / std::sqrt(static_cast<double>(dim)));
+    result.stats.build_seconds = phase.Lap();
+
+    // rho: exact range count, as in Ex-DPC/Approx-DPC.
+    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+      for (PointId i = begin; i < end; ++i) {
+        result.rho[static_cast<size_t>(i)] = static_cast<double>(
+            tree.RangeCount(points[i], params.d_cut) - 1);
+      }
+    });
+    result.stats.rho_seconds = phase.Lap();
+
+    // Cell peaks + snapping, exactly as Approx-DPC.
+    std::vector<uint8_t> is_peak(static_cast<size_t>(n), 0);
+    std::vector<PointId> peaks;
+    peaks.reserve(grid.num_cells());
+    for (const auto& cell : grid.cells()) {
+      PointId peak = cell.members.front();
+      for (const PointId i : cell.members) {
+        if (DenserThan(result.rho[static_cast<size_t>(i)], i,
+                       result.rho[static_cast<size_t>(peak)], peak)) {
+          peak = i;
+        }
+      }
+      is_peak[static_cast<size_t>(peak)] = 1;
+      peaks.push_back(peak);
+      for (const PointId i : cell.members) {
+        if (i == peak) continue;
+        result.dependency[static_cast<size_t>(i)] = peak;
+        result.delta[static_cast<size_t>(i)] =
+            Distance(points[i], points[peak], dim);
+      }
+    }
+
+    // Epsilon-driven cell subsampling: peaks always survive; non-peak
+    // members survive at keep_rate via the nested per-point hash.
+    const double keep_rate = 1.0 / (1.0 + 4.0 * params.epsilon);
+    PointSet candidates(dim);
+    std::vector<PointId> candidate_ids;
+    candidates.Reserve(static_cast<PointId>(static_cast<double>(n) * keep_rate) +
+                       static_cast<PointId>(peaks.size()) + 16);
+    for (PointId i = 0; i < n; ++i) {
+      if (is_peak[static_cast<size_t>(i)] != 0 ||
+          HashToUnit(kSampleSeed, static_cast<uint64_t>(i)) < keep_rate) {
+        candidates.Add(points[i]);
+        candidate_ids.push_back(i);
+      }
+    }
+    KdTree candidate_tree;
+    candidate_tree.Build(candidates);
+    result.stats.index_memory_bytes =
+        tree.MemoryBytes() + grid.MemoryBytes() + candidate_tree.MemoryBytes() +
+        candidates.raw().capacity() * sizeof(double) +
+        candidate_ids.capacity() * sizeof(PointId);
+
+    // Peaks: nearest denser neighbor among the sampled candidates.
+    const PointId num_peaks = static_cast<PointId>(peaks.size());
+    internal::ParallelFor(num_peaks, params.num_threads,
+                          [&](PointId begin, PointId end) {
+      for (PointId k = begin; k < end; ++k) {
+        const PointId p = peaks[static_cast<size_t>(k)];
+        const double rho_p = result.rho[static_cast<size_t>(p)];
+        double dist = std::numeric_limits<double>::infinity();
+        const PointId nn = candidate_tree.NearestAccepted(
+            points[p],
+            [&](PointId cj) {
+              const PointId j = candidate_ids[static_cast<size_t>(cj)];
+              return DenserThan(result.rho[static_cast<size_t>(j)], j, rho_p, p);
+            },
+            &dist);
+        result.delta[static_cast<size_t>(p)] = dist;
+        result.dependency[static_cast<size_t>(p)] =
+            nn >= 0 ? candidate_ids[static_cast<size_t>(nn)] : PointId{-1};
+      }
+    });
+    result.stats.delta_seconds = phase.Lap();
+
+    FinalizeClusters(params, &result);
+    result.stats.label_seconds = phase.Lap();
+    result.stats.total_seconds = total.Seconds();
+    return result;
+  }
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_S_APPROX_DPC_H_

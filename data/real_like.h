@@ -7,6 +7,7 @@
 #ifndef DPC_DATA_REAL_LIKE_H_
 #define DPC_DATA_REAL_LIKE_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -67,8 +68,13 @@ inline PointSet MakeRealLike(const RealDatasetSpec& spec, PointId n,
   params.dim = spec.dim;
   params.domain = spec.domain;
   // Spread scales with d_cut so the default parameters produce the dense,
-  // multi-modal neighborhoods the paper's defaults were tuned for.
-  params.overlap = 0.015 * (spec.default_d_cut / 1000.0);
+  // multi-modal neighborhoods the paper's defaults were tuned for. The
+  // sqrt(2/dim) factor keeps the typical within-cluster pair distance
+  // (sigma * sqrt(2 * dim)) at the same multiple of d_cut in every
+  // dimensionality — without it the 7/8-dim stand-ins have empty d_cut
+  // balls and everything degenerates to noise.
+  params.overlap = 0.015 * (spec.default_d_cut / 1000.0) *
+                   std::sqrt(2.0 / spec.dim);
   params.noise_rate = noise_rate >= 0.0 ? noise_rate : 0.01;
   params.seed = seed != 0 ? seed : spec.seed;
   return GaussianBenchmark(params);

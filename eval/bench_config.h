@@ -1,0 +1,58 @@
+// Environment-driven sizing for the §6 reproduction benches, so the same
+// binaries scale from a laptop smoke run to a paper-scale machine:
+//
+//   DPC_BENCH_SCALE    fraction of each dataset's published cardinality
+//                      (default 0.02 — Airline ~116k instead of 5.8M)
+//   DPC_BENCH_THREADS  worker-thread cap (default: all hardware threads)
+//   DPC_BENCH_HEAVY    1 = let the O(n^2) baselines run at full size
+//                      instead of being capped + extrapolated
+#ifndef DPC_EVAL_BENCH_CONFIG_H_
+#define DPC_EVAL_BENCH_CONFIG_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "core/dpc.h"
+
+namespace dpc::eval {
+
+struct BenchConfig {
+  double scale = 0.02;   ///< dataset-cardinality multiplier
+  int max_threads = 1;   ///< thread cap passed to DpcParams::num_threads
+  bool heavy = false;    ///< run quadratic baselines uncapped
+
+  /// The published cardinality scaled down, floored so tiny scales still
+  /// exercise real cluster structure.
+  PointId Scaled(PointId full_cardinality) const {
+    const auto scaled =
+        static_cast<PointId>(static_cast<double>(full_cardinality) * scale);
+    return std::max<PointId>(scaled, 1000);
+  }
+
+  /// Largest n the O(n^2) baselines run at before the harness samples the
+  /// input and extrapolates quadratically (bench_util.h::RunTimed).
+  PointId QuadraticCap() const { return heavy ? 1000000000 : 20000; }
+};
+
+inline BenchConfig LoadBenchConfig() {
+  BenchConfig cfg;
+  if (const char* s = std::getenv("DPC_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) cfg.scale = v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  cfg.max_threads = hc > 0 ? static_cast<int>(hc) : 1;
+  if (const char* s = std::getenv("DPC_BENCH_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) cfg.max_threads = v;
+  }
+  if (const char* s = std::getenv("DPC_BENCH_HEAVY")) {
+    cfg.heavy = std::atoi(s) != 0;
+  }
+  return cfg;
+}
+
+}  // namespace dpc::eval
+
+#endif  // DPC_EVAL_BENCH_CONFIG_H_

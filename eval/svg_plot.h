@@ -1,0 +1,178 @@
+// Self-contained SVG writers for the figure-style benches: a 2-D labeled
+// scatter (Figure 6's panels) and a (rho, delta) decision graph
+// (Figure 1b). No plotting dependency — the benches must run in a bare
+// container and still leave something a human can open in a browser.
+//
+// Only the first two coordinates are drawn for dim > 2. Large inputs are
+// deterministically subsampled (stateless per-point hash) so the files
+// stay viewer-friendly.
+#ifndef DPC_EVAL_SVG_PLOT_H_
+#define DPC_EVAL_SVG_PLOT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/decision_graph.h"
+#include "core/dpc.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace dpc::eval {
+
+struct SvgOptions {
+  std::string title;
+  int width = 760;
+  int height = 760;
+  PointId max_points = 20000;  ///< subsample cap for the scatter
+  double point_radius = 1.6;
+};
+
+namespace internal {
+
+/// Qualitative palette (12 hues); noise is drawn grey, unassigned silver.
+inline const char* LabelColor(int64_t label) {
+  static const char* kPalette[] = {
+      "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7",
+      "#a463f2", "#97bbf5", "#9c6b4e", "#bcbd22", "#17becf", "#e15759"};
+  if (label == kNoise) return "#9aa0a6";
+  if (label < 0) return "#d0d0d0";
+  return kPalette[static_cast<size_t>(label) % (sizeof(kPalette) / sizeof(*kPalette))];
+}
+
+struct Mapper {
+  double lo_x, lo_y, scale_x, scale_y;
+  int height, margin;
+  double X(double x) const { return margin + (x - lo_x) * scale_x; }
+  double Y(double y) const { return height - margin - (y - lo_y) * scale_y; }
+};
+
+inline Mapper FitViewport(double lo_x, double hi_x, double lo_y, double hi_y,
+                          const SvgOptions& opt, int margin) {
+  Mapper m;
+  m.lo_x = lo_x;
+  m.lo_y = lo_y;
+  m.height = opt.height;
+  m.margin = margin;
+  const double span_x = hi_x > lo_x ? hi_x - lo_x : 1.0;
+  const double span_y = hi_y > lo_y ? hi_y - lo_y : 1.0;
+  m.scale_x = (opt.width - 2.0 * margin) / span_x;
+  m.scale_y = (opt.height - 2.0 * margin) / span_y;
+  return m;
+}
+
+inline void WriteHeader(std::FILE* f, const SvgOptions& opt) {
+  std::fprintf(f,
+               "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+               "height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+               "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+               opt.width, opt.height, opt.width, opt.height);
+  if (!opt.title.empty()) {
+    std::fprintf(f,
+                 "<text x=\"%d\" y=\"18\" font-family=\"sans-serif\" "
+                 "font-size=\"14\">%s</text>\n",
+                 12, opt.title.c_str());
+  }
+}
+
+}  // namespace internal
+
+/// 2-D scatter of the first two coordinates, colored by label; centers
+/// are drawn on top as black-ringed stars.
+inline Status WriteScatterSvg(const PointSet& points,
+                              const std::vector<int64_t>& label,
+                              const std::vector<PointId>& centers,
+                              const std::string& path,
+                              const SvgOptions& options = {}) {
+  if (static_cast<PointId>(label.size()) != points.size()) {
+    return Status::InvalidArgument("label count does not match point count");
+  }
+  if (points.dim() < 2) {
+    return Status::InvalidArgument("scatter plot needs dim >= 2");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for writing");
+
+  const PointId n = points.size();
+  double lo_x = std::numeric_limits<double>::infinity(), hi_x = -lo_x;
+  double lo_y = std::numeric_limits<double>::infinity(), hi_y = -lo_y;
+  for (PointId i = 0; i < n; ++i) {
+    lo_x = std::min(lo_x, points[i][0]);
+    hi_x = std::max(hi_x, points[i][0]);
+    lo_y = std::min(lo_y, points[i][1]);
+    hi_y = std::max(hi_y, points[i][1]);
+  }
+  const internal::Mapper m = internal::FitViewport(lo_x, hi_x, lo_y, hi_y,
+                                                   options, /*margin=*/28);
+  internal::WriteHeader(f, options);
+
+  const double keep = n > options.max_points
+                          ? static_cast<double>(options.max_points) /
+                                static_cast<double>(n)
+                          : 1.0;
+  for (PointId i = 0; i < n; ++i) {
+    if (keep < 1.0 && HashToUnit(0x51c9u, static_cast<uint64_t>(i)) >= keep) {
+      continue;
+    }
+    std::fprintf(f, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\"/>\n",
+                 m.X(points[i][0]), m.Y(points[i][1]), options.point_radius,
+                 internal::LabelColor(label[static_cast<size_t>(i)]));
+  }
+  for (const PointId c : centers) {
+    const double x = m.X(points[c][0]);
+    const double y = m.Y(points[c][1]);
+    std::fprintf(f,
+                 "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"6\" fill=\"%s\" "
+                 "stroke=\"black\" stroke-width=\"1.5\"/>\n"
+                 "<path d=\"M %.1f %.1f l 4 0 m -8 0 l 4 0 m 0 -4 l 0 8\" "
+                 "stroke=\"black\" stroke-width=\"1.5\"/>\n",
+                 x, y, internal::LabelColor(label[static_cast<size_t>(c)]), x, y);
+  }
+  std::fprintf(f, "</svg>\n");
+  if (std::fclose(f) != 0) return Status::IoError("error closing " + path);
+  return Status::Ok();
+}
+
+/// The (rho, delta) decision graph; +inf deltas (the global peak) are
+/// drawn just above the largest finite delta.
+inline Status WriteDecisionGraphSvg(const std::vector<DecisionGraphEntry>& graph,
+                                    const std::string& path,
+                                    const SvgOptions& options = {}) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for writing");
+
+  double hi_rho = 1.0, hi_delta = 1.0;
+  for (const auto& e : graph) {
+    hi_rho = std::max(hi_rho, e.rho);
+    if (!std::isinf(e.delta)) hi_delta = std::max(hi_delta, e.delta);
+  }
+  const double inf_delta = hi_delta * 1.08;
+  const internal::Mapper m =
+      internal::FitViewport(0.0, hi_rho, 0.0, inf_delta, options, /*margin=*/36);
+  internal::WriteHeader(f, options);
+  std::fprintf(f,
+               "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#666\"/>\n"
+               "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#666\"/>\n"
+               "<text x=\"%d\" y=\"%d\" font-family=\"sans-serif\" "
+               "font-size=\"12\">rho</text>\n"
+               "<text x=\"14\" y=\"%d\" font-family=\"sans-serif\" "
+               "font-size=\"12\">delta</text>\n",
+               36, options.height - 36, options.width - 20, options.height - 36,
+               36, options.height - 36, 36, 24, options.width - 44,
+               options.height - 18, 36);
+  for (const auto& e : graph) {
+    const double delta = std::isinf(e.delta) ? inf_delta : e.delta;
+    std::fprintf(f, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\" fill=\"#4269d0\"/>\n",
+                 m.X(e.rho), m.Y(delta));
+  }
+  std::fprintf(f, "</svg>\n");
+  if (std::fclose(f) != 0) return Status::IoError("error closing " + path);
+  return Status::Ok();
+}
+
+}  // namespace dpc::eval
+
+#endif  // DPC_EVAL_SVG_PLOT_H_

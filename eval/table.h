@@ -1,0 +1,55 @@
+// Minimal fixed-width text table for the bench printouts: column widths
+// auto-fit the widest cell, numbers stay untouched (formatting is the
+// caller's job — see common/string_util.h's StrFormat).
+#ifndef DPC_EVAL_TABLE_H_
+#define DPC_EVAL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dpc::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::FILE* out = stdout) const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    PrintRow(out, headers_, width);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+      rule.append(width[c] + (c + 1 < width.size() ? 2 : 0), '-');
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(out, row, width);
+  }
+
+ private:
+  static void PrintRow(std::FILE* out, const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                   c + 1 < row.size() ? "  " : "");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpc::eval
+
+#endif  // DPC_EVAL_TABLE_H_

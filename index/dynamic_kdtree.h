@@ -1,0 +1,97 @@
+// Incrementally-built kd-tree over an existing PointSet: points are
+// Insert()ed one id at a time and become immediately queryable. Split
+// dimension cycles with depth (the classic pointer-style kd-tree), which
+// keeps insertion O(depth) with no rebalancing — sufficient for streaming
+// scenarios and the index micro-benchmarks; bulk workloads should prefer
+// the balanced index/kdtree.h.
+#ifndef DPC_INDEX_DYNAMIC_KDTREE_H_
+#define DPC_INDEX_DYNAMIC_KDTREE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/dpc.h"
+
+namespace dpc {
+
+class DynamicKdTree {
+ public:
+  /// The tree indexes ids of `points`, which must outlive it; nothing is
+  /// inserted yet.
+  explicit DynamicKdTree(const PointSet& points)
+      : points_(&points), dim_(points.dim()) {
+    nodes_.reserve(static_cast<size_t>(points.size()));
+  }
+
+  PointId size() const { return static_cast<PointId>(nodes_.size()); }
+
+  void Insert(PointId id) {
+    const int32_t ni = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{id, -1, -1});
+    if (ni == 0) return;
+    const double* p = (*points_)[id];
+    int32_t cur = 0;
+    for (int depth = 0;; ++depth) {
+      Node& node = nodes_[static_cast<size_t>(cur)];
+      const int d = depth % dim_;
+      const bool go_left = p[d] < (*points_)[node.id][d];
+      int32_t& child = go_left ? node.left : node.right;
+      if (child < 0) {
+        child = ni;
+        return;
+      }
+      cur = child;
+    }
+  }
+
+  /// Nearest inserted point to q; -1 when empty. *out_dist (optional)
+  /// receives the distance.
+  PointId Nearest(const double* q, double* out_dist = nullptr) const {
+    PointId best = -1;
+    double best_sq = std::numeric_limits<double>::infinity();
+    if (!nodes_.empty()) NearestRec(0, 0, q, &best, &best_sq);
+    if (out_dist != nullptr) {
+      *out_dist = best >= 0 ? std::sqrt(best_sq)
+                            : std::numeric_limits<double>::infinity();
+    }
+    return best;
+  }
+
+  size_t MemoryBytes() const { return nodes_.capacity() * sizeof(Node); }
+
+ private:
+  struct Node {
+    PointId id;
+    int32_t left;
+    int32_t right;
+  };
+
+  void NearestRec(int32_t ni, int depth, const double* q, PointId* best,
+                  double* best_sq) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    const double* p = (*points_)[node.id];
+    const double d_sq = SquaredDistance(q, p, dim_);
+    if (d_sq < *best_sq) {
+      *best_sq = d_sq;
+      *best = node.id;
+    }
+    const int d = depth % dim_;
+    const double diff = q[d] - p[d];
+    const int32_t near = diff < 0.0 ? node.left : node.right;
+    const int32_t far = diff < 0.0 ? node.right : node.left;
+    if (near >= 0) NearestRec(near, depth + 1, q, best, best_sq);
+    if (far >= 0 && diff * diff < *best_sq) {
+      NearestRec(far, depth + 1, q, best, best_sq);
+    }
+  }
+
+  const PointSet* points_;
+  int dim_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_INDEX_DYNAMIC_KDTREE_H_

@@ -28,6 +28,9 @@ class KdTree {
   static constexpr int kLeafSize = 32;
 
   KdTree() = default;
+  /// Convenience: build immediately over `points` (which must outlive
+  /// the tree).
+  explicit KdTree(const PointSet& points) { Build(points); }
 
   void Build(const PointSet& points) {
     points_ = &points;
@@ -41,6 +44,9 @@ class KdTree {
     if (n > 0) BuildNode(0, n);
   }
 
+  /// Number of indexed points.
+  PointId size() const { return static_cast<PointId>(perm_.size()); }
+
   /// Number of points within distance r of q (q itself included when it
   /// is a member of the indexed set).
   PointId RangeCount(const double* q, double r) const {
@@ -48,6 +54,25 @@ class KdTree {
     PointId count = 0;
     CountRec(0, q, r * r, &count);
     return count;
+  }
+
+  /// RangeCount with one id excluded from the tally — the usual spelling
+  /// when q is itself an indexed point.
+  PointId RangeCount(const double* q, double r, PointId exclude) const {
+    PointId count = RangeCount(q, r);
+    if (exclude >= 0 && exclude < size() &&
+        SquaredDistance(q, (*points_)[exclude], dim_) <= r * r) {
+      --count;
+    }
+    return count;
+  }
+
+  /// Nearest indexed point to q other than `exclude` (-1 accepts all);
+  /// *out_dist (optional) receives the distance.
+  PointId Nearest(const double* q, PointId exclude = -1,
+                  double* out_dist = nullptr) const {
+    return NearestAccepted(
+        q, [exclude](PointId id) { return id != exclude; }, out_dist);
   }
 
   /// Appends the ids of all points within distance r of q to *out.

@@ -1,0 +1,117 @@
+// Random-projection LSH partitioner — the substrate of the LSH-DDP
+// baseline (§6). Each of `num_tables` hash tables concatenates
+// `num_projections` quantized Gaussian projections
+//     h(x) = floor((a . x + b) / bucket_width)
+// into a bucket key; nearby points land in the same bucket with high
+// probability, so a point's candidate neighborhood is the union of its
+// buckets across tables.
+//
+// Projection directions and offsets are drawn from the seeded
+// deterministic RNG (core/rng.h) and the build is serial, so the
+// partition — and every algorithm built on it — is bit-identical across
+// runs and thread counts.
+#ifndef DPC_INDEX_LSH_H_
+#define DPC_INDEX_LSH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/dpc.h"
+#include "core/rng.h"
+
+namespace dpc {
+
+struct LshParams {
+  int num_tables = 4;       ///< independent hash tables (union of buckets)
+  int num_projections = 6;  ///< concatenated projections per table
+  double bucket_width = 0.0;  ///< quantization step (> 0; ~2-4x d_cut works)
+  uint64_t seed = 0x15bd1u;   ///< projection seed (fixed => deterministic)
+};
+
+class LshPartitioner {
+ public:
+  LshPartitioner(const PointSet& points, const LshParams& params)
+      : params_(params) {
+    Build(points);
+  }
+
+  int num_tables() const { return params_.num_tables; }
+
+  /// Total bucket count across tables.
+  size_t num_buckets() const {
+    size_t n = 0;
+    for (const auto& table : tables_) n += table.buckets.size();
+    return n;
+  }
+
+  /// Members of the bucket point i hashes into, in table t (ascending ids).
+  const std::vector<PointId>& Bucket(int t, PointId i) const {
+    const Table& table = tables_[static_cast<size_t>(t)];
+    return table.buckets[table.bucket_of[static_cast<size_t>(i)]];
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const auto& table : tables_) {
+      bytes += (table.proj.capacity() + table.offset.capacity()) * sizeof(double);
+      bytes += table.bucket_of.capacity() * sizeof(uint32_t);
+      bytes += table.buckets.capacity() * sizeof(std::vector<PointId>);
+      for (const auto& bucket : table.buckets) {
+        bytes += bucket.capacity() * sizeof(PointId);
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Table {
+    std::vector<double> proj;     ///< num_projections x dim directions
+    std::vector<double> offset;   ///< one uniform offset per projection
+    std::vector<std::vector<PointId>> buckets;
+    std::vector<uint32_t> bucket_of;  ///< point id -> bucket index
+  };
+
+  void Build(const PointSet& points) {
+    const PointId n = points.size();
+    const int dim = points.dim();
+    const int k = params_.num_projections;
+    const double w = params_.bucket_width;
+    Rng rng(params_.seed);
+    tables_.assign(static_cast<size_t>(params_.num_tables), Table{});
+    std::vector<int64_t> key(static_cast<size_t>(k));
+    for (Table& table : tables_) {
+      table.proj.resize(static_cast<size_t>(k) * static_cast<size_t>(dim));
+      for (double& v : table.proj) v = rng.NextGaussian();
+      table.offset.resize(static_cast<size_t>(k));
+      for (double& v : table.offset) v = rng.Uniform(0.0, w);
+      table.bucket_of.resize(static_cast<size_t>(n));
+      std::unordered_map<std::vector<int64_t>, uint32_t, Int64VectorHash> index;
+      index.reserve(static_cast<size_t>(n) / 8 + 16);
+      for (PointId i = 0; i < n; ++i) {
+        const double* p = points[i];
+        for (int j = 0; j < k; ++j) {
+          const double* a = table.proj.data() + static_cast<size_t>(j) * dim;
+          double dot = 0.0;
+          for (int d = 0; d < dim; ++d) dot += a[d] * p[d];
+          key[static_cast<size_t>(j)] = static_cast<int64_t>(
+              std::floor((dot + table.offset[static_cast<size_t>(j)]) / w));
+        }
+        const auto [it, inserted] =
+            index.try_emplace(key, static_cast<uint32_t>(table.buckets.size()));
+        if (inserted) table.buckets.emplace_back();
+        table.buckets[it->second].push_back(i);
+        table.bucket_of[static_cast<size_t>(i)] = it->second;
+      }
+    }
+  }
+
+  LshParams params_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_INDEX_LSH_H_

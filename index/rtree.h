@@ -1,0 +1,203 @@
+// Bulk-loaded R-tree (Sort-Tile-Recursive packing) — the index behind the
+// "R-tree + Scan" baseline of §6: it accelerates the rho phase's range
+// counting while the dependent-point phase stays a quadratic scan.
+//
+// Like the kd-tree, RangeCount does whole-subtree accounting: a node whose
+// MBR lies entirely inside the query ball contributes its subtree size
+// without visiting points. The tree is immutable after Build() and safe
+// for concurrent queries.
+#ifndef DPC_INDEX_RTREE_H_
+#define DPC_INDEX_RTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/dpc.h"
+
+namespace dpc {
+
+class RTree {
+ public:
+  static constexpr int kLeafSize = 32;
+  static constexpr int kFanout = 8;
+
+  RTree() = default;
+  explicit RTree(const PointSet& points) { Build(points); }
+
+  void Build(const PointSet& points) {
+    points_ = &points;
+    dim_ = points.dim();
+    nodes_.clear();
+    boxes_.clear();
+    perm_.resize(static_cast<size_t>(points.size()));
+    std::iota(perm_.begin(), perm_.end(), PointId{0});
+    if (perm_.empty()) {
+      root_ = -1;
+      return;
+    }
+    // STR: recursively tile the id range into kFanout slabs along the
+    // widest dimension until ranges fit in a leaf.
+    root_ = BuildNode(0, static_cast<PointId>(perm_.size()));
+  }
+
+  PointId size() const { return static_cast<PointId>(perm_.size()); }
+
+  /// Number of points within distance r of q.
+  PointId RangeCount(const double* q, double r) const {
+    if (root_ < 0) return 0;
+    PointId count = 0;
+    CountRec(root_, q, r * r, &count);
+    return count;
+  }
+
+  /// RangeCount with one id excluded from the tally.
+  PointId RangeCount(const double* q, double r, PointId exclude) const {
+    PointId count = RangeCount(q, r);
+    if (exclude >= 0 && exclude < size() &&
+        SquaredDistance(q, (*points_)[exclude], dim_) <= r * r) {
+      --count;
+    }
+    return count;
+  }
+
+  size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) + boxes_.capacity() * sizeof(double) +
+           perm_.capacity() * sizeof(PointId) +
+           child_index_.capacity() * sizeof(int32_t);
+  }
+
+ private:
+  struct Node {
+    PointId begin = 0;  // range in perm_
+    PointId end = 0;
+    int32_t first_child = -1;  // offset into child_index_; -1 for leaves
+    int32_t num_children = 0;
+    int32_t box = 0;  // offset into boxes_ (2 * dim_ doubles: lo, hi)
+  };
+
+  int32_t BuildNode(PointId begin, PointId end) {
+    const int32_t id = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    Node node;
+    node.begin = begin;
+    node.end = end;
+    node.box = static_cast<int32_t>(boxes_.size());
+    boxes_.resize(boxes_.size() + static_cast<size_t>(2 * dim_));
+    {
+      double* lo = boxes_.data() + node.box;
+      double* hi = lo + dim_;
+      for (int d = 0; d < dim_; ++d) {
+        lo[d] = std::numeric_limits<double>::infinity();
+        hi[d] = -std::numeric_limits<double>::infinity();
+      }
+      for (PointId i = begin; i < end; ++i) {
+        const double* p = (*points_)[perm_[static_cast<size_t>(i)]];
+        for (int d = 0; d < dim_; ++d) {
+          lo[d] = std::min(lo[d], p[d]);
+          hi[d] = std::max(hi[d], p[d]);
+        }
+      }
+    }
+    if (end - begin > kLeafSize) {
+      // Sort the slab along its widest dimension, then cut into kFanout
+      // equal tiles (boxes_ may reallocate in recursion; re-read widths
+      // from a local copy).
+      int split_dim = 0;
+      {
+        const double* lo = boxes_.data() + node.box;
+        const double* hi = lo + dim_;
+        double widest = -1.0;
+        for (int d = 0; d < dim_; ++d) {
+          const double w = hi[d] - lo[d];
+          if (w > widest) {
+            widest = w;
+            split_dim = d;
+          }
+        }
+      }
+      std::sort(perm_.begin() + begin, perm_.begin() + end,
+                [this, split_dim](PointId a, PointId b) {
+                  const double xa = (*points_)[a][split_dim];
+                  const double xb = (*points_)[b][split_dim];
+                  return xa != xb ? xa < xb : a < b;
+                });
+      const PointId count = end - begin;
+      const PointId tile = (count + kFanout - 1) / kFanout;
+      std::vector<int32_t> children;
+      for (PointId b = begin; b < end; b += tile) {
+        children.push_back(BuildNode(b, std::min(b + tile, end)));
+      }
+      // STR recursion emits children depth-first, so they are NOT
+      // contiguous in nodes_; store explicit indices instead.
+      node.num_children = static_cast<int32_t>(children.size());
+      child_index_.insert(child_index_.end(), children.begin(), children.end());
+      node.first_child = static_cast<int32_t>(child_index_.size() -
+                                              children.size());
+    }
+    nodes_[static_cast<size_t>(id)] = node;
+    return id;
+  }
+
+  double MinSqToBox(const Node& node, const double* q) const {
+    const double* lo = boxes_.data() + node.box;
+    const double* hi = lo + dim_;
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      double diff = 0.0;
+      if (q[d] < lo[d]) {
+        diff = lo[d] - q[d];
+      } else if (q[d] > hi[d]) {
+        diff = q[d] - hi[d];
+      }
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  double MaxSqToBox(const Node& node, const double* q) const {
+    const double* lo = boxes_.data() + node.box;
+    const double* hi = lo + dim_;
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      const double diff = std::max(q[d] - lo[d], hi[d] - q[d]);
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  void CountRec(int32_t ni, const double* q, double r_sq, PointId* count) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    if (MinSqToBox(node, q) > r_sq) return;
+    if (MaxSqToBox(node, q) <= r_sq) {
+      *count += node.end - node.begin;  // whole subtree inside the ball
+      return;
+    }
+    if (node.num_children == 0) {
+      for (PointId i = node.begin; i < node.end; ++i) {
+        const PointId id = perm_[static_cast<size_t>(i)];
+        if (SquaredDistance(q, (*points_)[id], dim_) <= r_sq) ++*count;
+      }
+      return;
+    }
+    for (int32_t c = 0; c < node.num_children; ++c) {
+      CountRec(child_index_[static_cast<size_t>(node.first_child + c)], q, r_sq,
+               count);
+    }
+  }
+
+  const PointSet* points_ = nullptr;
+  int dim_ = 0;
+  int32_t root_ = -1;
+  std::vector<PointId> perm_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> child_index_;
+  std::vector<double> boxes_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_INDEX_RTREE_H_

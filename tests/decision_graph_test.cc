@@ -71,12 +71,12 @@ int main() {
     if (result.label[i] < 0) CHECK(halo.in_halo[i] == 0);
   }
 
-  // Registry round-trip plus precise errors for unimplemented/unknown.
+  // Registry round-trip plus a precise error for unknown names (full
+  // per-algorithm coverage lives in registry_test).
   auto made = dpc::MakeAlgorithmByName("ex-dpc");
   CHECK(made.ok());
   CHECK(made.value()->name() == "Ex-DPC");
-  CHECK(dpc::MakeAlgorithmByName("s-approx-dpc").status().code() ==
-        dpc::StatusCode::kUnimplemented);
+  CHECK(dpc::MakeAlgorithmByName("s-approx-dpc").ok());
   CHECK(dpc::MakeAlgorithmByName("nope").status().code() ==
         dpc::StatusCode::kNotFound);
 

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "baselines/cfsfdp_a.h"
+#include "baselines/lsh_ddp.h"
 #include "core/approx_dpc.h"
 #include "core/ex_dpc.h"
+#include "core/s_approx_dpc.h"
 #include "data/generators.h"
 #include "tests/test_util.h"
 
@@ -55,6 +58,30 @@ int main() {
     CheckSameResult(serial, parallel);
 
     CHECK(serial.num_clusters() > 0);
+  }
+
+  // The sampled algorithms draw their randomness from seeded hashes
+  // (LSH projection directions, S-Approx-DPC's candidate coins), never
+  // from thread scheduling — labels stay bit-identical across 1/2/8
+  // workers.
+  {
+    dpc::LshDdp lsh_ddp;
+    dpc::SApproxDpc s_approx;
+    dpc::CfsfdpA cfsfdp_a;
+    dpc::DpcParams p = params;
+    p.epsilon = 0.5;
+    for (dpc::DpcAlgorithm* algo :
+         {static_cast<dpc::DpcAlgorithm*>(&lsh_ddp),
+          static_cast<dpc::DpcAlgorithm*>(&s_approx),
+          static_cast<dpc::DpcAlgorithm*>(&cfsfdp_a)}) {
+      p.num_threads = 1;
+      const dpc::DpcResult serial = algo->Run(points, p);
+      for (const int threads : {2, 8}) {
+        p.num_threads = threads;
+        CheckSameResult(serial, algo->Run(points, p));
+      }
+      CHECK(serial.num_clusters() > 0);
+    }
   }
 
   std::printf("determinism_test OK\n");
