@@ -19,20 +19,49 @@
 
 #include "baselines/scan_dpc.h"
 #include "core/dpc.h"
-#include "core/parallel_for.h"
+#include "core/options.h"
 #include "core/rng.h"
+#include "parallel/parallel_for.h"
 
 namespace dpc {
 
+struct CfsfdpAOptions {
+  /// Fraction of points the density estimate counts against (the paper's
+  /// fixed 25% unless overridden).
+  double sample_rate = 0.25;
+  /// Seed of the Bernoulli sampling coins; fixed so labels are
+  /// reproducible run to run.
+  int64_t sample_seed = 0xcf5fd9a5;
+  /// Loop scheduling override; unset inherits the ExecutionContext.
+  std::optional<ScheduleStrategy> scheduler;
+
+  static StatusOr<CfsfdpAOptions> FromOptions(const OptionsMap& map) {
+    CfsfdpAOptions options;
+    OptionsReader reader(map);
+    reader.Double("sample_rate", &options.sample_rate);
+    reader.Int64("sample_seed", &options.sample_seed);
+    reader.Strategy("scheduler", &options.scheduler);
+    if (Status s = reader.status(); !s.ok()) return s;
+    if (!(options.sample_rate > 0.0) || options.sample_rate > 1.0) {
+      return Status::InvalidArgument("sample_rate must be in (0, 1]");
+    }
+    return options;
+  }
+};
+
 class CfsfdpA : public DpcAlgorithm {
  public:
-  /// Fraction of points the density estimate counts against.
-  static constexpr double kSampleRate = 0.25;
-  static constexpr uint64_t kSampleSeed = 0xcf5fd9a5ULL;
+  CfsfdpA() = default;
+  explicit CfsfdpA(CfsfdpAOptions options) : options_(options) {}
 
+  using DpcAlgorithm::Run;
   std::string_view name() const override { return "CFSFDP-A"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) override {
+    ExecutionContext exec = ResolveContext(params, ctx);
+    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+
     DpcResult result;
     const PointId n = points.size();
     const int dim = points.dim();
@@ -43,10 +72,13 @@ class CfsfdpA : public DpcAlgorithm {
 
     internal::WallTimer total;
     internal::WallTimer phase;
+    const double sample_rate = options_.sample_rate;
+    const uint64_t seed = static_cast<uint64_t>(options_.sample_seed);
     std::vector<PointId> sample;
-    sample.reserve(static_cast<size_t>(static_cast<double>(n) * kSampleRate) + 16);
+    sample.reserve(
+        static_cast<size_t>(static_cast<double>(n) * sample_rate) + 16);
     for (PointId j = 0; j < n; ++j) {
-      if (HashToUnit(kSampleSeed, static_cast<uint64_t>(j)) < kSampleRate) {
+      if (HashToUnit(seed, static_cast<uint64_t>(j)) < sample_rate) {
         sample.push_back(j);
       }
     }
@@ -55,7 +87,7 @@ class CfsfdpA : public DpcAlgorithm {
 
     // rho: scaled count of sampled neighbors (self excluded when sampled).
     const double r_sq = params.d_cut * params.d_cut;
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+    ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         PointId count = 0;
         for (const PointId j : sample) {
@@ -64,20 +96,31 @@ class CfsfdpA : public DpcAlgorithm {
           }
         }
         result.rho[static_cast<size_t>(i)] =
-            static_cast<double>(count) / kSampleRate;
+            static_cast<double>(count) / sample_rate;
       }
     });
     result.stats.rho_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
-    internal::QuadraticDeltas(points, result.rho, params.num_threads,
-                              &result.delta, &result.dependency);
+    internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
+                              &result.dependency);
     result.stats.delta_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     FinalizeClusters(params, &result);
     result.stats.label_seconds = phase.Lap();
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+
+ private:
+  CfsfdpAOptions options_;
 };
 
 }  // namespace dpc

@@ -14,6 +14,8 @@
 //
 // Hash directions are seeded (index/lsh.h) and all per-point phases write
 // disjoint slots, so labels are bit-identical across runs and threads.
+// The table/bit counts are the classic LSH quality/speed dials, exposed
+// through LshDdpOptions for the paper's sensitivity experiments.
 #ifndef DPC_BASELINES_LSH_DDP_H_
 #define DPC_BASELINES_LSH_DDP_H_
 
@@ -22,17 +24,54 @@
 
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
-#include "core/parallel_for.h"
+#include "core/options.h"
 #include "index/kdtree.h"
 #include "index/lsh.h"
+#include "parallel/parallel_for.h"
 
 namespace dpc {
 
+struct LshDdpOptions {
+  int num_tables = 4;  ///< hash tables; more = better recall, more work
+  int num_bits = 4;    ///< projections per table (code width)
+  /// Bucket width as a multiple of d_cut.
+  double bucket_width_factor = 4.0;
+  /// Loop scheduling override; unset inherits the ExecutionContext.
+  /// Exception: the rho loop always runs static — its O(n) per-chunk
+  /// scratch would be re-paid under dynamic chunking (see Run).
+  std::optional<ScheduleStrategy> scheduler;
+
+  static StatusOr<LshDdpOptions> FromOptions(const OptionsMap& map) {
+    LshDdpOptions options;
+    OptionsReader reader(map);
+    reader.Int("num_tables", &options.num_tables);
+    reader.Int("num_bits", &options.num_bits);
+    reader.Double("bucket_width_factor", &options.bucket_width_factor);
+    reader.Strategy("scheduler", &options.scheduler);
+    if (Status s = reader.status(); !s.ok()) return s;
+    if (options.num_tables < 1 || options.num_bits < 1) {
+      return Status::InvalidArgument("num_tables and num_bits must be >= 1");
+    }
+    if (!(options.bucket_width_factor > 0.0)) {
+      return Status::InvalidArgument("bucket_width_factor must be positive");
+    }
+    return options;
+  }
+};
+
 class LshDdp : public DpcAlgorithm {
  public:
+  LshDdp() = default;
+  explicit LshDdp(LshDdpOptions options) : options_(options) {}
+
+  using DpcAlgorithm::Run;
   std::string_view name() const override { return "LSH-DDP"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) override {
+    ExecutionContext exec = ResolveContext(params, ctx);
+    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+
     DpcResult result;
     const PointId n = points.size();
     const int dim = points.dim();
@@ -44,9 +83,9 @@ class LshDdp : public DpcAlgorithm {
     internal::WallTimer total;
     internal::WallTimer phase;
     LshParams lsh_params;
-    lsh_params.num_tables = 4;
-    lsh_params.num_projections = 4;
-    lsh_params.bucket_width = 4.0 * params.d_cut;
+    lsh_params.num_tables = options_.num_tables;
+    lsh_params.num_projections = options_.num_bits;
+    lsh_params.bucket_width = options_.bucket_width_factor * params.d_cut;
     const LshPartitioner lsh(points, lsh_params);
     KdTree tree(points);  // refinement index for local density maxima
     result.stats.build_seconds = phase.Lap();
@@ -54,9 +93,12 @@ class LshDdp : public DpcAlgorithm {
 
     // Local rho over each point's bucket union. Duplicates across tables
     // are skipped with a query-id-stamped scratch array — cheaper than
-    // materializing and sorting the union per point.
+    // materializing and sorting the union per point. The O(n) scratch is
+    // paid once per chunk callback, so this loop pins the static strategy
+    // (one chunk per thread) instead of dynamic's ~8 chunks per thread.
     const double r_sq = params.d_cut * params.d_cut;
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+    ParallelFor(exec.WithStrategy(ScheduleStrategy::kStatic), n,
+                [&](PointId begin, PointId end) {
       std::vector<PointId> last_query(static_cast<size_t>(n), PointId{-1});
       for (PointId i = begin; i < end; ++i) {
         PointId count = 0;
@@ -71,10 +113,14 @@ class LshDdp : public DpcAlgorithm {
       }
     });
     result.stats.rho_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     // Local delta; collect local maxima for the exact refinement round.
     std::vector<uint8_t> needs_refine(static_cast<size_t>(n), 0);
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+    ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         const double rho_i = result.rho[static_cast<size_t>(i)];
         double best_sq = std::numeric_limits<double>::infinity();
@@ -104,15 +150,22 @@ class LshDdp : public DpcAlgorithm {
     for (PointId i = 0; i < n; ++i) {
       if (needs_refine[static_cast<size_t>(i)] != 0) refine.push_back(i);
     }
-    ExDpc::ComputeExactDeltas(points, tree, result.rho, params.num_threads,
-                              &result.delta, &result.dependency, &refine);
+    ExDpc::ComputeExactDeltas(points, tree, result.rho, exec, &result.delta,
+                              &result.dependency, &refine);
     result.stats.delta_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     FinalizeClusters(params, &result);
     result.stats.label_seconds = phase.Lap();
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+
+ private:
+  LshDdpOptions options_;
 };
 
 }  // namespace dpc

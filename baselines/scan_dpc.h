@@ -10,7 +10,9 @@
 //
 // Both share the quadratic dependent pass (internal::QuadraticDeltas),
 // which CFSFDP-A reuses as well. All phases parallelize over points with
-// disjoint writes, so results are thread-count independent.
+// disjoint writes, so results are thread-count and strategy independent.
+// Per-point work is uniform here (every point scans everything), so
+// there is no cost model: cost-guided scheduling falls back to dynamic.
 #ifndef DPC_BASELINES_SCAN_DPC_H_
 #define DPC_BASELINES_SCAN_DPC_H_
 
@@ -18,10 +20,25 @@
 #include <vector>
 
 #include "core/dpc.h"
-#include "core/parallel_for.h"
+#include "core/options.h"
 #include "index/rtree.h"
+#include "parallel/parallel_for.h"
 
 namespace dpc {
+
+/// Shared by ScanDpc and RtreeScanDpc (their loops are shape-identical).
+struct ScanDpcOptions {
+  /// Loop scheduling override; unset inherits the ExecutionContext.
+  std::optional<ScheduleStrategy> scheduler;
+
+  static StatusOr<ScanDpcOptions> FromOptions(const OptionsMap& map) {
+    ScanDpcOptions options;
+    OptionsReader reader(map);
+    reader.Strategy("scheduler", &options.scheduler);
+    if (Status s = reader.status(); !s.ok()) return s;
+    return options;
+  }
+};
 
 namespace internal {
 
@@ -29,11 +46,12 @@ namespace internal {
 /// point, scan ALL points ranking denser (DenserThan) and keep the
 /// closest. The globally densest point keeps delta = +inf, dependency -1.
 inline void QuadraticDeltas(const PointSet& points, const std::vector<double>& rho,
-                            int num_threads, std::vector<double>* delta,
+                            const ExecutionContext& exec,
+                            std::vector<double>* delta,
                             std::vector<PointId>* dependency) {
   const PointId n = points.size();
   const int dim = points.dim();
-  ParallelFor(n, num_threads, [&](PointId begin, PointId end) {
+  ParallelFor(exec, n, [&](PointId begin, PointId end) {
     for (PointId i = begin; i < end; ++i) {
       const double rho_i = rho[static_cast<size_t>(i)];
       double best_sq = std::numeric_limits<double>::infinity();
@@ -57,9 +75,17 @@ inline void QuadraticDeltas(const PointSet& points, const std::vector<double>& r
 
 class ScanDpc : public DpcAlgorithm {
  public:
+  ScanDpc() = default;
+  explicit ScanDpc(ScanDpcOptions options) : options_(options) {}
+
+  using DpcAlgorithm::Run;
   std::string_view name() const override { return "Scan"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) override {
+    ExecutionContext exec = ResolveContext(params, ctx);
+    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+
     DpcResult result;
     const PointId n = points.size();
     const int dim = points.dim();
@@ -73,7 +99,7 @@ class ScanDpc : public DpcAlgorithm {
     result.stats.build_seconds = phase.Lap();  // no index
 
     const double r_sq = params.d_cut * params.d_cut;
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+    ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         PointId count = 0;
         for (PointId j = 0; j < n; ++j) {
@@ -85,23 +111,42 @@ class ScanDpc : public DpcAlgorithm {
       }
     });
     result.stats.rho_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
-    internal::QuadraticDeltas(points, result.rho, params.num_threads,
-                              &result.delta, &result.dependency);
+    internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
+                              &result.dependency);
     result.stats.delta_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     FinalizeClusters(params, &result);
     result.stats.label_seconds = phase.Lap();
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+
+ private:
+  ScanDpcOptions options_;
 };
 
 class RtreeScanDpc : public DpcAlgorithm {
  public:
+  RtreeScanDpc() = default;
+  explicit RtreeScanDpc(ScanDpcOptions options) : options_(options) {}
+
+  using DpcAlgorithm::Run;
   std::string_view name() const override { return "R-tree + Scan"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) override {
+    ExecutionContext exec = ResolveContext(params, ctx);
+    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+
     DpcResult result;
     const PointId n = points.size();
     result.rho.assign(static_cast<size_t>(n), 0.0);
@@ -115,23 +160,34 @@ class RtreeScanDpc : public DpcAlgorithm {
     result.stats.build_seconds = phase.Lap();
     result.stats.index_memory_bytes = tree.MemoryBytes();
 
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
+    ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         result.rho[static_cast<size_t>(i)] = static_cast<double>(
             tree.RangeCount(points[i], params.d_cut) - 1);
       }
     });
     result.stats.rho_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
-    internal::QuadraticDeltas(points, result.rho, params.num_threads,
-                              &result.delta, &result.dependency);
+    internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
+                              &result.dependency);
     result.stats.delta_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     FinalizeClusters(params, &result);
     result.stats.label_seconds = phase.Lap();
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+
+ private:
+  ScanDpcOptions options_;
 };
 
 }  // namespace dpc

@@ -162,21 +162,23 @@ struct TimedRun {
 inline TimedRun RunTimed(AlgoId id, const Workload& w, const eval::BenchConfig& cfg,
                          int threads) {
   TimedRun out;
-  DpcParams params = w.params;
-  params.num_threads = threads;
+  const DpcParams params = w.params;
+  // All bench runs share the process-wide pool (ExecutionContext's
+  // default); `threads` only caps the parallelism degree per run.
+  const ExecutionContext ctx(threads);
   const PointId n = w.points.size();
   auto algo = MakeAlgo(id);
   if (IsQuadratic(id) && n > cfg.QuadraticCap()) {
     const PointId cap = cfg.QuadraticCap();
     const PointSet sub = w.points.Sample(static_cast<double>(cap) / static_cast<double>(n),
                                          /*seed=*/97);
-    out.result = algo->Run(sub, params);
+    out.result = algo->Run(sub, params, ctx);
     const double ratio = static_cast<double>(n) / static_cast<double>(sub.size());
     out.seconds = out.result.stats.total_seconds * ratio * ratio;
     out.extrapolated = true;
     out.n_used = sub.size();
   } else {
-    out.result = algo->Run(w.points, params);
+    out.result = algo->Run(w.points, params, ctx);
     out.seconds = out.result.stats.total_seconds;
     out.n_used = n;
   }

@@ -12,30 +12,90 @@
 //     paper's headline property: Approx-DPC returns the same centers as
 //     Ex-DPC.
 //
-// rho is computed exactly with the kd-tree's whole-subtree range count
-// (equivalent to the paper's whole-cell counting, but dimension-robust);
-// the speedup over Ex-DPC comes from skipping the delta search for every
-// non-peak point.
+// rho is exact. With joint_range_search (§4.2, the default) each grid
+// cell runs ONE shared kd-tree traversal that counts neighbors for all
+// its members at once; turning it off falls back to Ex-DPC-style
+// per-point range counts — identical values, one traversal per point
+// (ablation A of bench_ablation). Both phases iterate cells partitioned
+// by the §4.5 LPT scheduler under the default cost-guided strategy.
+//
+// The peaks' exact dependent search uses the paper's density-ordered
+// subset scheme: points are split into s subsets by density rank, one
+// kd-tree per subset, and a peak only queries the subsets that can hold
+// denser points — denser peaks stop after fewer subsets. s comes from
+// SolveNumSubsets (the Equation (2) cost model) unless forced
+// (ablation C).
 #ifndef DPC_CORE_APPROX_DPC_H_
 #define DPC_CORE_APPROX_DPC_H_
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
-#include "core/parallel_for.h"
+#include "core/options.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
+#include "parallel/parallel_for.h"
 
 namespace dpc {
 
+struct ApproxDpcOptions {
+  /// §4.2 joint range search: one shared kd-tree traversal per grid cell
+  /// computes rho for all its members. false = Ex-DPC-style per-point
+  /// range counts. Labels are identical either way (both are exact).
+  bool joint_range_search = true;
+  /// Loop scheduling override; unset inherits the ExecutionContext's
+  /// strategy (default cost-guided, §4.5).
+  std::optional<ScheduleStrategy> scheduler;
+  /// Subset count s of the peaks' density-ordered exact dependent
+  /// search; 0 solves the Equation (2) cost model (SolveNumSubsets),
+  /// 1 collapses to a single global search.
+  int force_num_subsets = 0;
+
+  static StatusOr<ApproxDpcOptions> FromOptions(const OptionsMap& map) {
+    ApproxDpcOptions options;
+    OptionsReader reader(map);
+    reader.Bool("joint_range_search", &options.joint_range_search);
+    reader.Strategy("scheduler", &options.scheduler);
+    reader.Int("force_num_subsets", &options.force_num_subsets);
+    if (Status s = reader.status(); !s.ok()) return s;
+    if (options.force_num_subsets < 0) {
+      return Status::InvalidArgument("force_num_subsets must be >= 0");
+    }
+    return options;
+  }
+};
+
 class ApproxDpc : public DpcAlgorithm {
  public:
+  ApproxDpc() = default;
+  explicit ApproxDpc(ApproxDpcOptions options) : options_(options) {}
+
+  using DpcAlgorithm::Run;
   std::string_view name() const override { return "Approx-DPC"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+  /// The Equation (2) analog of our cost model for the density-ordered
+  /// subset search: total tree build shrinks with s (s trees of n/s
+  /// points cost n*log2(n/s) together) while expected query work grows
+  /// linearly in s (a peak of uniform rank visits ~s/2 subsets).
+  /// Balancing d/ds of the two terms gives s* ~ 2*sqrt(n)/log2(n).
+  static int SolveNumSubsets(PointId n, int dim) {
+    (void)dim;  // the log-tree costs cancel the dimension factor
+    if (n < 2) return 1;
+    const double nd = static_cast<double>(n);
+    const int s =
+        static_cast<int>(std::lround(2.0 * std::sqrt(nd) / std::log2(nd)));
+    return std::clamp<int>(s, 1, static_cast<int>(std::min<PointId>(n, 256)));
+  }
+
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) override {
+    ExecutionContext exec = ResolveContext(params, ctx);
+    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+
     DpcResult result;
     const PointId n = points.size();
     const int dim = points.dim();
@@ -50,24 +110,60 @@ class ApproxDpc : public DpcAlgorithm {
     tree.Build(points);
 
     // Grid with cell side d_cut/sqrt(dim), bounding the cell diameter by
-    // d_cut (index/grid.h — shared with S-Approx-DPC).
-    const UniformGrid grid(points, params.d_cut / std::sqrt(static_cast<double>(dim)));
+    // d_cut (index/grid.h — shared with S-Approx-DPC); its per-cell
+    // population doubles as the §4.5 scheduling cost model.
+    const UniformGrid grid(points,
+                           params.d_cut / std::sqrt(static_cast<double>(dim)));
+    const std::vector<double> cell_costs = grid.CellCosts();
     result.stats.build_seconds = phase.Lap();
     result.stats.index_memory_bytes = tree.MemoryBytes() + grid.MemoryBytes();
 
-    // rho: exact range count, as in Ex-DPC.
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
-      for (PointId i = begin; i < end; ++i) {
-        result.rho[static_cast<size_t>(i)] = static_cast<double>(
-            tree.RangeCount(points[i], params.d_cut) - 1);
-      }
-    });
+    // rho: exact range counts, cell by cell.
+    if (options_.joint_range_search) {
+      ParallelForWithCosts(exec, cell_costs, [&](int64_t cell) {
+        const std::vector<PointId>& members = grid.members(cell);
+        // Per-thread scratch (pool workers persist): the members' tight
+        // bounding box — lo then hi, dim doubles each — and the counts.
+        // Both are fully overwritten per cell.
+        static thread_local std::vector<double> box;
+        static thread_local std::vector<PointId> counts;
+        box.assign(static_cast<size_t>(2 * dim), 0.0);
+        double* lo = box.data();
+        double* hi = box.data() + dim;
+        for (int d = 0; d < dim; ++d) {
+          lo[d] = std::numeric_limits<double>::infinity();
+          hi[d] = -std::numeric_limits<double>::infinity();
+        }
+        for (const PointId i : members) {
+          for (int d = 0; d < dim; ++d) {
+            lo[d] = std::min(lo[d], points[i][d]);
+            hi[d] = std::max(hi[d], points[i][d]);
+          }
+        }
+        tree.JointRangeCount(lo, hi, members, params.d_cut, &counts);
+        for (size_t k = 0; k < members.size(); ++k) {
+          result.rho[static_cast<size_t>(members[k])] =
+              static_cast<double>(counts[k] - 1);  // self excluded
+        }
+      });
+    } else {
+      ParallelForWithCosts(exec, cell_costs, [&](int64_t cell) {
+        for (const PointId i : grid.members(cell)) {
+          result.rho[static_cast<size_t>(i)] = static_cast<double>(
+              tree.RangeCount(points[i], params.d_cut) - 1);
+        }
+      });
+    }
     result.stats.rho_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     // delta: cell peaks get the exact search, everyone else snaps to its
     // cell peak.
     std::vector<PointId> peaks;
-    peaks.reserve(grid.num_cells());
+    peaks.reserve(static_cast<size_t>(grid.num_cells()));
     for (const auto& cell : grid.cells()) {
       PointId peak = cell.members.front();
       for (const PointId i : cell.members) {
@@ -84,15 +180,111 @@ class ApproxDpc : public DpcAlgorithm {
             Distance(points[i], points[peak], dim);
       }
     }
-    ExDpc::ComputeExactDeltas(points, tree, result.rho, params.num_threads,
-                              &result.delta, &result.dependency, &peaks);
+    const int num_subsets = options_.force_num_subsets > 0
+                                ? options_.force_num_subsets
+                                : SolveNumSubsets(n, dim);
+    ComputePeakDeltasBySubsets(points, result.rho, peaks, num_subsets, exec,
+                               &result.delta, &result.dependency);
     result.stats.delta_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     FinalizeClusters(params, &result);
     result.stats.label_seconds = phase.Lap();
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+
+  /// The paper's dependent-point strategy for cell peaks: points are
+  /// sorted into `num_subsets` density-ordered subsets, a kd-tree is
+  /// bulk-loaded per subset, and each peak queries subsets densest-first.
+  /// Every subset that wholly precedes the peak's own outranks it, so
+  /// the query degenerates to a plain nearest-neighbor there; only the
+  /// peak's own subset needs the denser-than predicate. The result is
+  /// exactly the nearest denser neighbor (same candidate set as a global
+  /// predicate search). Under cost-guided scheduling, peaks are
+  /// LPT-partitioned by density rank — denser peaks visit fewer subsets,
+  /// which rank models directly.
+  static void ComputePeakDeltasBySubsets(
+      const PointSet& points, const std::vector<double>& rho,
+      const std::vector<PointId>& peaks, int num_subsets,
+      const ExecutionContext& exec, std::vector<double>* delta,
+      std::vector<PointId>* dependency) {
+    const PointId n = points.size();
+    const int dim = points.dim();
+    if (n == 0 || peaks.empty()) return;
+    const std::vector<PointId> order = DensityOrder(rho);
+    std::vector<PointId> rank(static_cast<size_t>(n));
+    for (PointId pos = 0; pos < n; ++pos) {
+      rank[static_cast<size_t>(order[static_cast<size_t>(pos)])] = pos;
+    }
+    const int s = static_cast<int>(
+        std::clamp<PointId>(num_subsets, 1, n));
+    const PointId block = (n + s - 1) / s;
+
+    std::vector<PointSet> subsets(static_cast<size_t>(s), PointSet(dim));
+    for (int b = 0; b < s; ++b) {
+      const PointId begin = static_cast<PointId>(b) * block;
+      const PointId end = std::min<PointId>(begin + block, n);
+      subsets[static_cast<size_t>(b)].Reserve(end - begin);
+      for (PointId pos = begin; pos < end; ++pos) {
+        subsets[static_cast<size_t>(b)].Add(
+            points[order[static_cast<size_t>(pos)]]);
+      }
+    }
+    std::vector<KdTree> trees(static_cast<size_t>(s));
+    std::vector<double> build_costs(static_cast<size_t>(s));
+    for (int b = 0; b < s; ++b) {
+      build_costs[static_cast<size_t>(b)] =
+          static_cast<double>(subsets[static_cast<size_t>(b)].size());
+    }
+    ParallelForWithCosts(exec, build_costs, [&](int64_t b) {
+      trees[static_cast<size_t>(b)].Build(subsets[static_cast<size_t>(b)]);
+    });
+
+    std::vector<double> peak_costs(peaks.size());
+    for (size_t k = 0; k < peaks.size(); ++k) {
+      peak_costs[k] =
+          static_cast<double>(rank[static_cast<size_t>(peaks[k])] + 1);
+    }
+    ParallelForWithCosts(exec, peak_costs, [&](int64_t k) {
+      const PointId p = peaks[static_cast<size_t>(k)];
+      const PointId rank_p = rank[static_cast<size_t>(p)];
+      const int last = static_cast<int>(rank_p / block);
+      double best = std::numeric_limits<double>::infinity();
+      PointId best_id = -1;
+      // The running best threads through as each search's initial bound,
+      // so subsets that cannot beat it prune away at their root.
+      for (int b = 0; b <= last; ++b) {
+        const PointId base = static_cast<PointId>(b) * block;
+        double dist = std::numeric_limits<double>::infinity();
+        PointId local;
+        if (b < last) {
+          // Every point in this subset outranks p: plain NN.
+          local = trees[static_cast<size_t>(b)].NearestAccepted(
+              points[p], [](PointId) { return true; }, &dist, best);
+        } else {
+          // A subset-local id lid sits at density-order position
+          // base + lid, so its rank is base + lid by construction.
+          local = trees[static_cast<size_t>(b)].NearestAccepted(
+              points[p],
+              [base, rank_p](PointId lid) { return base + lid < rank_p; },
+              &dist, best);
+        }
+        if (local >= 0 && dist < best) {
+          best = dist;
+          best_id = order[static_cast<size_t>(base + local)];
+        }
+      }
+      (*delta)[static_cast<size_t>(p)] = best;
+      (*dependency)[static_cast<size_t>(p)] = best_id;
+    });
+  }
+
+ private:
+  ApproxDpcOptions options_;
 };
 
 }  // namespace dpc

@@ -27,6 +27,7 @@
 
 #include "core/rng.h"
 #include "core/status.h"
+#include "parallel/execution_context.h"
 
 namespace dpc {
 
@@ -108,7 +109,11 @@ struct DpcParams {
   double rho_min = 0.0;    ///< points below this density are noise
   double delta_min = 0.0;  ///< center threshold on the decision graph (> d_cut)
   double epsilon = 1.0;    ///< S-Approx-DPC approximation knob (ignored elsewhere)
-  int num_threads = 0;     ///< 0 = all hardware threads
+  /// DEPRECATED: execution policy moved to ExecutionContext (API v2).
+  /// Still honored when the context leaves its thread count unspecified —
+  /// see EffectiveThreads for the precedence rule. 0 = all hardware
+  /// threads.
+  int num_threads = 0;
 
   Status Validate() const {
     if (!(d_cut > 0.0)) {
@@ -140,6 +145,10 @@ struct DpcStats {
   double label_seconds = 0.0;  ///< center selection + label propagation
   double total_seconds = 0.0;
   size_t index_memory_bytes = 0;
+  /// True when the run stopped early at a phase boundary because the
+  /// ExecutionContext's deadline passed or RequestCancel() was called;
+  /// every label is kUnassigned and later-phase stats are zero.
+  bool interrupted = false;
 };
 
 /// Full clustering output. rho/delta/dependency are retained so callers
@@ -157,11 +166,39 @@ struct DpcResult {
   bool is_noise(PointId i) const { return label[static_cast<size_t>(i)] == kNoise; }
 };
 
+/// Thread-count precedence (API v2): an ExecutionContext with an explicit
+/// count wins; a context that leaves it unspecified (0) defers to the
+/// deprecated DpcParams::num_threads; 0 everywhere means all hardware
+/// threads.
+inline int EffectiveThreads(const DpcParams& params,
+                            const ExecutionContext& ctx) {
+  if (ctx.num_threads() > 0) return ctx.num_threads();
+  if (params.num_threads > 0) return params.num_threads;
+  return HardwareThreads();
+}
+
+/// The context with the precedence rule applied — what algorithms
+/// actually loop with (shares the caller's pool and cancel flag).
+inline ExecutionContext ResolveContext(const DpcParams& params,
+                                       const ExecutionContext& ctx) {
+  return ctx.WithThreads(EffectiveThreads(params, ctx));
+}
+
 class DpcAlgorithm {
  public:
   virtual ~DpcAlgorithm() = default;
   virtual std::string_view name() const = 0;
-  virtual DpcResult Run(const PointSet& points, const DpcParams& params) = 0;
+  /// API v2 entry point: the ExecutionContext carries the execution
+  /// policy (thread pool, parallelism degree, schedule strategy,
+  /// deadline/cancellation); DpcParams keeps only the clustering knobs.
+  virtual DpcResult Run(const PointSet& points, const DpcParams& params,
+                        const ExecutionContext& ctx) = 0;
+  /// Deprecated two-arg form: a default-context shim. The deprecated
+  /// DpcParams::num_threads is honored through EffectiveThreads; the
+  /// shared process-wide ThreadPool is reused across calls.
+  DpcResult Run(const PointSet& points, const DpcParams& params) {
+    return Run(points, params, ExecutionContext());
+  }
 };
 
 /// True iff q ranks denser than p (rho desc, id asc tie-break). This is
@@ -205,6 +242,17 @@ inline void FinalizeClusters(const DpcParams& params, DpcResult* result) {
 }
 
 namespace internal {
+
+/// Phase-boundary cancellation/deadline check shared by every algorithm:
+/// when the context says stop, marks the result interrupted and leaves
+/// every point unassigned (rho/delta keep whatever phases completed).
+inline bool Interrupted(const ExecutionContext& ctx, DpcResult* result) {
+  if (!ctx.ShouldStop()) return false;
+  result->stats.interrupted = true;
+  result->label.assign(result->rho.size(), kUnassigned);
+  result->centers.clear();
+  return true;
+}
 
 class WallTimer {
  public:

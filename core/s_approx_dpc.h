@@ -31,20 +31,45 @@
 #include <vector>
 
 #include "core/dpc.h"
-#include "core/parallel_for.h"
+#include "core/options.h"
 #include "core/rng.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
+#include "parallel/parallel_for.h"
 
 namespace dpc {
 
+struct SApproxDpcOptions {
+  /// Loop scheduling override; unset inherits the ExecutionContext's
+  /// strategy (default cost-guided, §4.5).
+  std::optional<ScheduleStrategy> scheduler;
+  /// Seed of the nested per-point sampling coins; fixed by default so
+  /// labels are reproducible run to run.
+  int64_t sample_seed = 0x5a94d9c;
+
+  static StatusOr<SApproxDpcOptions> FromOptions(const OptionsMap& map) {
+    SApproxDpcOptions options;
+    OptionsReader reader(map);
+    reader.Strategy("scheduler", &options.scheduler);
+    reader.Int64("sample_seed", &options.sample_seed);
+    if (Status s = reader.status(); !s.ok()) return s;
+    return options;
+  }
+};
+
 class SApproxDpc : public DpcAlgorithm {
  public:
-  static constexpr uint64_t kSampleSeed = 0x5a94d9cULL;
+  SApproxDpc() = default;
+  explicit SApproxDpc(SApproxDpcOptions options) : options_(options) {}
 
+  using DpcAlgorithm::Run;
   std::string_view name() const override { return "S-Approx-DPC"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params) override {
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) override {
+    ExecutionContext exec = ResolveContext(params, ctx);
+    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+
     DpcResult result;
     const PointId n = points.size();
     const int dim = points.dim();
@@ -57,22 +82,28 @@ class SApproxDpc : public DpcAlgorithm {
     internal::WallTimer phase;
     KdTree tree;
     tree.Build(points);
-    const UniformGrid grid(points, params.d_cut / std::sqrt(static_cast<double>(dim)));
+    const UniformGrid grid(points,
+                           params.d_cut / std::sqrt(static_cast<double>(dim)));
+    const std::vector<double> cell_costs = grid.CellCosts();
     result.stats.build_seconds = phase.Lap();
 
-    // rho: exact range count, as in Ex-DPC/Approx-DPC.
-    internal::ParallelFor(n, params.num_threads, [&](PointId begin, PointId end) {
-      for (PointId i = begin; i < end; ++i) {
+    // rho: exact range count, cell by cell (LPT-partitioned by default).
+    ParallelForWithCosts(exec, cell_costs, [&](int64_t cell) {
+      for (const PointId i : grid.members(cell)) {
         result.rho[static_cast<size_t>(i)] = static_cast<double>(
             tree.RangeCount(points[i], params.d_cut) - 1);
       }
     });
     result.stats.rho_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     // Cell peaks + snapping, exactly as Approx-DPC.
     std::vector<uint8_t> is_peak(static_cast<size_t>(n), 0);
     std::vector<PointId> peaks;
-    peaks.reserve(grid.num_cells());
+    peaks.reserve(static_cast<size_t>(grid.num_cells()));
     for (const auto& cell : grid.cells()) {
       PointId peak = cell.members.front();
       for (const PointId i : cell.members) {
@@ -94,13 +125,14 @@ class SApproxDpc : public DpcAlgorithm {
     // Epsilon-driven cell subsampling: peaks always survive; non-peak
     // members survive at keep_rate via the nested per-point hash.
     const double keep_rate = 1.0 / (1.0 + 4.0 * params.epsilon);
+    const uint64_t seed = static_cast<uint64_t>(options_.sample_seed);
     PointSet candidates(dim);
     std::vector<PointId> candidate_ids;
     candidates.Reserve(static_cast<PointId>(static_cast<double>(n) * keep_rate) +
                        static_cast<PointId>(peaks.size()) + 16);
     for (PointId i = 0; i < n; ++i) {
       if (is_peak[static_cast<size_t>(i)] != 0 ||
-          HashToUnit(kSampleSeed, static_cast<uint64_t>(i)) < keep_rate) {
+          HashToUnit(seed, static_cast<uint64_t>(i)) < keep_rate) {
         candidates.Add(points[i]);
         candidate_ids.push_back(i);
       }
@@ -113,32 +145,43 @@ class SApproxDpc : public DpcAlgorithm {
         candidate_ids.capacity() * sizeof(PointId);
 
     // Peaks: nearest denser neighbor among the sampled candidates.
-    const PointId num_peaks = static_cast<PointId>(peaks.size());
-    internal::ParallelFor(num_peaks, params.num_threads,
-                          [&](PointId begin, PointId end) {
-      for (PointId k = begin; k < end; ++k) {
-        const PointId p = peaks[static_cast<size_t>(k)];
-        const double rho_p = result.rho[static_cast<size_t>(p)];
-        double dist = std::numeric_limits<double>::infinity();
-        const PointId nn = candidate_tree.NearestAccepted(
-            points[p],
-            [&](PointId cj) {
-              const PointId j = candidate_ids[static_cast<size_t>(cj)];
-              return DenserThan(result.rho[static_cast<size_t>(j)], j, rho_p, p);
-            },
-            &dist);
-        result.delta[static_cast<size_t>(p)] = dist;
-        result.dependency[static_cast<size_t>(p)] =
-            nn >= 0 ? candidate_ids[static_cast<size_t>(nn)] : PointId{-1};
-      }
+    // ParallelForWithCosts dispatches on the strategy itself; under
+    // cost-guided, peaks are LPT-partitioned with cost ~ rho (denser
+    // peaks accept fewer candidates, so their searches tighten the
+    // distance bound later and do more work).
+    std::vector<double> peak_costs(peaks.size());
+    for (size_t k = 0; k < peaks.size(); ++k) {
+      peak_costs[k] = result.rho[static_cast<size_t>(peaks[k])] + 1.0;
+    }
+    ParallelForWithCosts(exec, peak_costs, [&](int64_t k) {
+      const PointId p = peaks[static_cast<size_t>(k)];
+      const double rho_p = result.rho[static_cast<size_t>(p)];
+      double dist = std::numeric_limits<double>::infinity();
+      const PointId nn = candidate_tree.NearestAccepted(
+          points[p],
+          [&](PointId cj) {
+            const PointId j = candidate_ids[static_cast<size_t>(cj)];
+            return DenserThan(result.rho[static_cast<size_t>(j)], j, rho_p, p);
+          },
+          &dist);
+      result.delta[static_cast<size_t>(p)] = dist;
+      result.dependency[static_cast<size_t>(p)] =
+          nn >= 0 ? candidate_ids[static_cast<size_t>(nn)] : PointId{-1};
     });
     result.stats.delta_seconds = phase.Lap();
+    if (internal::Interrupted(exec, &result)) {
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
 
     FinalizeClusters(params, &result);
     result.stats.label_seconds = phase.Lap();
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+
+ private:
+  SApproxDpcOptions options_;
 };
 
 }  // namespace dpc

@@ -19,7 +19,7 @@ namespace dpc::eval {
 
 struct BenchConfig {
   double scale = 0.02;   ///< dataset-cardinality multiplier
-  int max_threads = 1;   ///< thread cap passed to DpcParams::num_threads
+  int max_threads = 1;   ///< thread cap for each run's ExecutionContext
   bool heavy = false;    ///< run quadratic baselines uncapped
 
   /// The published cardinality scaled down, floored so tiny scales still

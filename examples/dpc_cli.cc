@@ -12,7 +12,15 @@
 //   --rho-min X         noise threshold (default 10)
 //   --delta-min X       center threshold (default: auto via decision-graph gap)
 //   --epsilon X         S-Approx-DPC approximation parameter (default 1.0)
-//   --threads N         worker threads (default: all)
+//   --threads N         worker threads (default 0 = all hardware threads;
+//                       runs execute on one persistent shared pool)
+//   --opt KEY=VALUE     per-algorithm option, repeatable. Examples:
+//                         approx-dpc: joint_range_search=false,
+//                                     force_num_subsets=8, scheduler=static
+//                         lsh-ddp:    num_tables=6, num_bits=5
+//                         cfsfdp-a:   sample_rate=0.5
+//                       scheduler takes static|dynamic|lpt|inherit.
+//                       Unknown keys fail with the recognized-key menu.
 //   --k N               instead of --delta-min: pick exactly N centers
 //   --output PATH       write "x0,...,xd-1,label" CSV
 //   --decision-graph P  write the decision graph CSV
@@ -21,9 +29,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/decision_graph.h"
 #include "core/halo.h"
+#include "core/options.h"
 #include "core/registry.h"
 #include "data/generators.h"
 #include "data/io.h"
@@ -41,6 +51,7 @@ struct CliArgs {
   double epsilon = 1.0;
   int threads = 0;
   int k = 0;
+  std::vector<std::string> opts;  // raw key=value strings
   std::string output;
   std::string decision_graph;
   bool halo = false;
@@ -50,8 +61,12 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --input points.csv --d-cut X [--algorithm NAME] "
                "[--rho-min X] [--delta-min X | --k N] [--epsilon X] "
-               "[--threads N] [--output out.csv] [--decision-graph dg.csv] "
-               "[--halo] [--demo]\n",
+               "[--threads N] [--opt key=value ...] [--output out.csv] "
+               "[--decision-graph dg.csv] [--halo] [--demo]\n"
+               "  --threads N   parallelism degree (0 = all hardware threads)\n"
+               "  --opt k=v     per-algorithm option, repeatable — e.g.\n"
+               "                joint_range_search=false, scheduler=static|dynamic|lpt,\n"
+               "                num_tables=6, num_bits=5, sample_rate=0.5\n",
                argv0);
   return 2;
 }
@@ -80,6 +95,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (!next(&args->epsilon)) return false;
     } else if (a == "--threads" && i + 1 < argc) {
       args->threads = std::atoi(argv[++i]);
+    } else if (a == "--opt" && i + 1 < argc) {
+      args->opts.emplace_back(argv[++i]);
     } else if (a == "--k" && i + 1 < argc) {
       args->k = std::atoi(argv[++i]);
     } else if (a == "--output" && i + 1 < argc) {
@@ -124,8 +141,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --d-cut is required and must be positive\n");
     return Usage(argv[0]);
   }
+  if (args.threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (0 = all)\n");
+    return Usage(argv[0]);
+  }
 
-  auto algo = dpc::MakeAlgorithmByName(args.algorithm);
+  auto options = dpc::ParseOptionList(args.opts);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  auto algo = dpc::MakeAlgorithmByName(args.algorithm, options.value());
   if (!algo.ok()) {
     std::fprintf(stderr, "error: %s\n", algo.status().ToString().c_str());
     return 1;
@@ -135,7 +161,6 @@ int main(int argc, char** argv) {
   params.d_cut = args.d_cut;
   params.rho_min = args.rho_min;
   params.epsilon = args.epsilon;
-  params.num_threads = args.threads;
   // Provisional threshold; refined below when auto/k mode is active.
   const bool auto_threshold = args.delta_min <= args.d_cut;
   params.delta_min = auto_threshold ? args.d_cut * 1.0000001 : args.delta_min;
@@ -144,7 +169,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  dpc::DpcResult result = algo.value()->Run(points, params);
+  // Execution policy (API v2): thread count and the shared persistent
+  // pool live on the context, not in DpcParams.
+  const dpc::ExecutionContext ctx(args.threads);
+  dpc::DpcResult result = algo.value()->Run(points, params, ctx);
 
   if (auto_threshold) {
     const double suggested = args.k > 0

@@ -32,11 +32,14 @@ int main() {
   params.d_cut = 1500.0;
   params.rho_min = 5.0;
   params.delta_min = 8000.0;
-  params.num_threads = 0;  // 0 = all hardware threads
 
-  // 3. Run.
+  // 3. Run. The ExecutionContext carries the execution policy: which
+  // thread pool to run on (default: one persistent process-wide pool,
+  // reused across runs), how many threads (0 = all), and the loop
+  // scheduling strategy (default: the paper's §4.5 cost-guided LPT).
+  dpc::ExecutionContext ctx;
   dpc::ApproxDpc algo;
-  const dpc::DpcResult result = algo.Run(points, params);
+  const dpc::DpcResult result = algo.Run(points, params, ctx);
 
   // 4. Report.
   const dpc::eval::ClusterSummary summary = dpc::eval::Summarize(result);

@@ -22,6 +22,10 @@
 
 namespace dpc {
 
+/// Index into UniformGrid::cells() — the unit the §4.5 LPT scheduler
+/// partitions across threads.
+using CellId = int64_t;
+
 class UniformGrid {
  public:
   using CellCoords = std::vector<int64_t>;
@@ -57,9 +61,24 @@ class UniformGrid {
     }
   }
 
-  size_t num_cells() const { return cells_.size(); }
+  CellId num_cells() const { return static_cast<CellId>(cells_.size()); }
   double cell_side() const { return cell_side_; }
   const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<PointId>& members(CellId cell) const {
+    return cells_[static_cast<size_t>(cell)].members;
+  }
+
+  /// §4.5 cost-model hook for the LPT scheduler: the per-point phases do
+  /// work proportional to a cell's population, so cost(c) = |P(c)|.
+  /// Feed this straight into LptSchedule / ParallelForWithCosts.
+  std::vector<double> CellCosts() const {
+    std::vector<double> costs;
+    costs.reserve(cells_.size());
+    for (const auto& cell : cells_) {
+      costs.push_back(static_cast<double>(cell.members.size()));
+    }
+    return costs;
+  }
 
   size_t MemoryBytes() const {
     size_t bytes = cells_.capacity() * sizeof(Cell);

@@ -75,6 +75,24 @@ class KdTree {
         q, [exclude](PointId id) { return id != exclude; }, out_dist);
   }
 
+  /// The paper's §4.2 joint range search: counts, for every query id in
+  /// `queries` (members of the indexed set), the points within distance
+  /// r — one shared traversal per call instead of one per query. The
+  /// caller passes the queries' bounding box (lo/hi, dim doubles each;
+  /// for Approx-DPC, a grid cell's member box): subtrees entirely within
+  /// r of the whole box are counted wholesale for every query, subtrees
+  /// farther than r from the box are skipped for every query, and only
+  /// the fringe does per-pair work. (*counts)[k] receives
+  /// |ball(queries[k], r)|, the query point itself included — exactly
+  /// what per-point RangeCount would return.
+  void JointRangeCount(const double* lo, const double* hi,
+                       const std::vector<PointId>& queries, double r,
+                       std::vector<PointId>* counts) const {
+    counts->assign(queries.size(), 0);
+    if (nodes_.empty() || queries.empty()) return;
+    JointCountRec(0, lo, hi, queries, r * r, counts);
+  }
+
   /// Appends the ids of all points within distance r of q to *out.
   void RangeReport(const double* q, double r, std::vector<PointId>* out) const {
     if (nodes_.empty()) return;
@@ -83,11 +101,18 @@ class KdTree {
 
   /// Nearest point to q among those with accept(id) == true; returns -1
   /// when no point is accepted. *out_dist receives the distance.
+  /// `max_dist` seeds the pruning bound: only points strictly closer
+  /// than it are reported, so a caller scanning several trees for one
+  /// global nearest neighbor can pass its running best and let whole
+  /// trees prune away (-1 then means "nothing beat the bound").
   template <typename Accept>
-  PointId NearestAccepted(const double* q, const Accept& accept,
-                          double* out_dist) const {
+  PointId NearestAccepted(
+      const double* q, const Accept& accept, double* out_dist,
+      double max_dist = std::numeric_limits<double>::infinity()) const {
     PointId best = -1;
-    double best_sq = std::numeric_limits<double>::infinity();
+    double best_sq = max_dist < std::numeric_limits<double>::infinity()
+                         ? max_dist * max_dist
+                         : std::numeric_limits<double>::infinity();
     if (!nodes_.empty()) NearestRec(0, q, accept, &best, &best_sq);
     if (out_dist != nullptr) {
       *out_dist = best >= 0 ? std::sqrt(best_sq)
@@ -184,6 +209,65 @@ class KdTree {
       s += diff * diff;
     }
     return s;
+  }
+
+  /// Squared distance between the query box [qlo, qhi] and a node's box
+  /// (0 when they intersect).
+  double MinSqBoxToBox(const Node& node, const double* qlo,
+                       const double* qhi) const {
+    const double* lo = boxes_.data() + node.box;
+    const double* hi = lo + dim_;
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      double diff = 0.0;
+      if (qhi[d] < lo[d]) {
+        diff = lo[d] - qhi[d];
+      } else if (qlo[d] > hi[d]) {
+        diff = qlo[d] - hi[d];
+      }
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  /// Squared distance between the farthest pair of corners of the query
+  /// box and the node's box — an upper bound for every (query, point)
+  /// pair the two boxes contain.
+  double MaxSqBoxToBox(const Node& node, const double* qlo,
+                       const double* qhi) const {
+    const double* lo = boxes_.data() + node.box;
+    const double* hi = lo + dim_;
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      const double diff = std::max(hi[d] - qlo[d], qhi[d] - lo[d]);
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  void JointCountRec(int32_t ni, const double* qlo, const double* qhi,
+                     const std::vector<PointId>& queries, double r_sq,
+                     std::vector<PointId>* counts) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    if (MinSqBoxToBox(node, qlo, qhi) > r_sq) return;
+    if (MaxSqBoxToBox(node, qlo, qhi) <= r_sq) {
+      const PointId subtree = node.end - node.begin;
+      for (PointId& count : *counts) count += subtree;
+      return;
+    }
+    if (node.left < 0) {
+      for (PointId i = node.begin; i < node.end; ++i) {
+        const double* p = (*points_)[perm_[static_cast<size_t>(i)]];
+        for (size_t k = 0; k < queries.size(); ++k) {
+          if (SquaredDistance(p, (*points_)[queries[k]], dim_) <= r_sq) {
+            ++(*counts)[k];
+          }
+        }
+      }
+      return;
+    }
+    JointCountRec(node.left, qlo, qhi, queries, r_sq, counts);
+    JointCountRec(node.right, qlo, qhi, queries, r_sq, counts);
   }
 
   void CountRec(int32_t ni, const double* q, double r_sq, PointId* count) const {

@@ -1,0 +1,140 @@
+// ExecutionContext — the execution policy of DpcAlgorithm::Run (API v2):
+// which ThreadPool to run on, how many threads to use, how loops map
+// iterations to threads (ScheduleStrategy, paper §4.5), and a per-run
+// deadline / cancellation flag checked at phase boundaries.
+//
+// Contexts are cheap value types: copies share the pool and the cancel
+// flag, so a caller can keep one context, hand copies to runs, and
+// cancel them all with one RequestCancel(). Default-constructed contexts
+// share one process-wide pool sized to the hardware — pool reuse across
+// runs is the point of the redesign (no more per-phase thread spawn).
+#ifndef DPC_PARALLEL_EXECUTION_CONTEXT_H_
+#define DPC_PARALLEL_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "parallel/omp_utils.h"
+#include "parallel/thread_pool.h"
+
+namespace dpc {
+
+/// How a parallel loop maps iterations to threads (parallel/parallel_for.h).
+enum class ScheduleStrategy {
+  kStatic,      ///< contiguous equal-count chunks, one per thread
+  kDynamic,     ///< threads claim fixed-grain chunks from a shared counter
+  kCostGuided,  ///< LPT bins over a per-item cost model (paper §4.5);
+                ///< loops without a cost model fall back to dynamic
+};
+
+inline const char* ToString(ScheduleStrategy strategy) {
+  switch (strategy) {
+    case ScheduleStrategy::kStatic:
+      return "static";
+    case ScheduleStrategy::kDynamic:
+      return "dynamic";
+    case ScheduleStrategy::kCostGuided:
+      return "lpt";
+  }
+  return "?";
+}
+
+class ExecutionContext {
+ public:
+  /// All hardware threads on the shared process-wide pool, cost-guided
+  /// scheduling (the paper's default), no deadline.
+  ExecutionContext() : ExecutionContext(0) {}
+
+  /// num_threads 0 leaves the degree unspecified (all hardware threads,
+  /// unless the deprecated DpcParams::num_threads overrides — see
+  /// EffectiveThreads in core/dpc.h). A null pool selects the shared
+  /// process-wide pool.
+  explicit ExecutionContext(
+      int num_threads,
+      ScheduleStrategy strategy = ScheduleStrategy::kCostGuided,
+      std::shared_ptr<ThreadPool> pool = nullptr)
+      : num_threads_(num_threads > 0 ? num_threads : 0),
+        strategy_(strategy),
+        pool_(pool != nullptr ? std::move(pool) : SharedDefaultPool()),
+        stop_(std::make_shared<StopState>()) {}
+
+  /// Raw request; 0 = unspecified.
+  int num_threads() const { return num_threads_; }
+  /// Resolved parallelism degree (>= 1).
+  int threads() const { return ResolveThreads(num_threads_); }
+  ScheduleStrategy strategy() const { return strategy_; }
+  ThreadPool& pool() const { return *pool_; }
+  const std::shared_ptr<ThreadPool>& shared_pool() const { return pool_; }
+
+  /// Copies sharing the pool and cancel flag, with one knob changed.
+  ExecutionContext WithThreads(int num_threads) const {
+    ExecutionContext copy = *this;
+    copy.num_threads_ = num_threads > 0 ? num_threads : 0;
+    return copy;
+  }
+  ExecutionContext WithStrategy(ScheduleStrategy strategy) const {
+    ExecutionContext copy = *this;
+    copy.strategy_ = strategy;
+    return copy;
+  }
+
+  // --- deadline / cancellation -----------------------------------------
+  // Algorithms poll ShouldStop() at phase boundaries; an interrupted run
+  // returns with DpcStats::interrupted set and all labels kUnassigned.
+  // Both the cancel flag and the deadline live in shared state, so
+  // setting either on ANY copy (including after Run has cloned the
+  // context via ResolveContext) reaches every other copy, thread-safely.
+
+  void set_deadline(std::chrono::steady_clock::time_point deadline) const {
+    stop_->deadline_ns.store(deadline.time_since_epoch().count(),
+                             std::memory_order_release);
+  }
+  void set_deadline_after(std::chrono::steady_clock::duration budget) const {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+  void RequestCancel() const {
+    stop_->cancel.store(true, std::memory_order_release);
+  }
+  bool cancel_requested() const {
+    return stop_->cancel.load(std::memory_order_acquire);
+  }
+  bool ShouldStop() const {
+    if (cancel_requested()) return true;
+    const int64_t deadline_ns =
+        stop_->deadline_ns.load(std::memory_order_acquire);
+    return deadline_ns != StopState::kNoDeadline &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >
+               deadline_ns;
+  }
+
+  /// The process-wide pool shared by default-constructed contexts (and
+  /// therefore by the deprecated two-arg Run shim): created once, sized
+  /// to the hardware, reused across runs and algorithms.
+  static const std::shared_ptr<ThreadPool>& SharedDefaultPool() {
+    static const std::shared_ptr<ThreadPool> pool =
+        std::make_shared<ThreadPool>(0);
+    return pool;
+  }
+
+ private:
+  /// Cancellation + deadline, shared across every copy of a context.
+  struct StopState {
+    static constexpr int64_t kNoDeadline =
+        std::numeric_limits<int64_t>::min();
+    std::atomic<bool> cancel{false};
+    std::atomic<int64_t> deadline_ns{kNoDeadline};  ///< steady_clock ticks
+  };
+
+  int num_threads_ = 0;
+  ScheduleStrategy strategy_ = ScheduleStrategy::kCostGuided;
+  std::shared_ptr<ThreadPool> pool_;
+  std::shared_ptr<StopState> stop_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_PARALLEL_EXECUTION_CONTEXT_H_

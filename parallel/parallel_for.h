@@ -1,0 +1,125 @@
+// Strategy-dispatched parallel loops over the persistent ThreadPool —
+// the replacement for core/parallel_for.h's per-call std::thread
+// spawn/join. The ExecutionContext picks the strategy; the loop shape
+// picks the entry point:
+//
+//   ParallelFor          index ranges without a cost model (per-point
+//                        phases): static chunks or dynamic claiming.
+//   ParallelForWithCosts per-item loops with a cost model (grid cells,
+//                        §4.5): cost-guided builds an LPT schedule with
+//                        one bin per thread.
+//
+// Every variant calls fn on each index/item exactly once with disjoint
+// slices, so loops whose writes are per-slot disjoint stay deterministic
+// across strategies and thread counts — the library-wide contract that
+// tests/determinism_test.cc enforces.
+#ifndef DPC_PARALLEL_PARALLEL_FOR_H_
+#define DPC_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/execution_context.h"
+#include "parallel/lpt_scheduler.h"
+
+namespace dpc {
+
+namespace internal {
+/// Below this iteration count a parallel region cannot pay for itself.
+inline constexpr int64_t kMinParallelIterations = 2048;
+}  // namespace internal
+
+/// Calls fn(begin, end) over disjoint chunks of [0, n). kStatic: one
+/// contiguous chunk per thread. kDynamic and kCostGuided (which has no
+/// per-index cost model here): threads claim grain-sized chunks from a
+/// shared counter.
+template <typename Fn>
+void ParallelFor(const ExecutionContext& ctx, int64_t n, const Fn& fn) {
+  if (n <= 0) return;
+  const int threads =
+      static_cast<int>(std::min<int64_t>(ctx.threads(), n));
+  if (threads <= 1 || n < internal::kMinParallelIterations) {
+    fn(int64_t{0}, n);
+    return;
+  }
+  if (ctx.strategy() == ScheduleStrategy::kStatic) {
+    const int64_t chunk = (n + threads - 1) / threads;
+    ctx.pool().Run(threads, [&](int64_t t) {
+      const int64_t begin = t * chunk;
+      const int64_t end = std::min(begin + chunk, n);
+      if (begin < end) fn(begin, end);
+    });
+  } else {
+    // ~8 grains per thread balances claim overhead against load balance.
+    const int64_t grain =
+        std::max<int64_t>(1, n / (static_cast<int64_t>(threads) * 8));
+    std::atomic<int64_t> next{0};
+    ctx.pool().Run(threads, [&](int64_t) {
+      for (;;) {
+        const int64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        fn(begin, std::min(begin + grain, n));
+      }
+    });
+  }
+}
+
+/// Calls fn(item) for every item in [0, costs.size()), where costs[item]
+/// models the item's work (index/grid.h::CellCosts for grid cells).
+/// kCostGuided partitions items with the §4.5 LPT scheduler, one bin per
+/// thread; kStatic splits into contiguous equal-count runs; kDynamic
+/// claims single items.
+template <typename Fn>
+void ParallelForWithCosts(const ExecutionContext& ctx,
+                          const std::vector<double>& costs, const Fn& fn) {
+  const int64_t n = static_cast<int64_t>(costs.size());
+  if (n <= 0) return;
+  const int threads =
+      static_cast<int>(std::min<int64_t>(ctx.threads(), n));
+  // Inline when the modeled work is tiny (mirrors ParallelFor's guard;
+  // costs are in work units — iterations for the grid's |P(c)| model).
+  double total_cost = 0.0;
+  for (const double cost : costs) total_cost += cost;
+  if (threads <= 1 ||
+      total_cost < static_cast<double>(internal::kMinParallelIterations)) {
+    for (int64_t item = 0; item < n; ++item) fn(item);
+    return;
+  }
+  switch (ctx.strategy()) {
+    case ScheduleStrategy::kStatic: {
+      const int64_t chunk = (n + threads - 1) / threads;
+      ctx.pool().Run(threads, [&](int64_t t) {
+        const int64_t begin = t * chunk;
+        const int64_t end = std::min(begin + chunk, n);
+        for (int64_t item = begin; item < end; ++item) fn(item);
+      });
+      break;
+    }
+    case ScheduleStrategy::kDynamic: {
+      std::atomic<int64_t> next{0};
+      ctx.pool().Run(threads, [&](int64_t) {
+        for (;;) {
+          const int64_t item = next.fetch_add(1, std::memory_order_relaxed);
+          if (item >= n) break;
+          fn(item);
+        }
+      });
+      break;
+    }
+    case ScheduleStrategy::kCostGuided: {
+      const Schedule schedule = LptSchedule(costs, threads);
+      ctx.pool().Run(threads, [&](int64_t t) {
+        for (const int64_t item : schedule.bins[static_cast<size_t>(t)]) {
+          fn(item);
+        }
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace dpc
+
+#endif  // DPC_PARALLEL_PARALLEL_FOR_H_

@@ -43,6 +43,30 @@ int main() {
   std::printf("rand index approx vs exact: %.5f\n", rand);
   CHECK(rand >= 0.95);
 
+  // Joint range search on/off (§4.2, ablation A): per-point counts must
+  // reproduce the joint traversal's rho — and therefore labels — exactly.
+  {
+    dpc::ApproxDpcOptions off;
+    off.joint_range_search = false;
+    const dpc::DpcResult ap_off = dpc::ApproxDpc(off).Run(points, params);
+    CHECK(ap_off.rho == ap.rho);
+    CHECK(ap_off.centers == ap.centers);
+    CHECK(ap_off.label == ap.label);
+  }
+
+  // Forced subset counts (Equation (2), ablation C): the density-ordered
+  // subset search is exact for any s, so labels and deltas never move.
+  for (const int s : {1, 3, 17}) {
+    dpc::ApproxDpcOptions forced;
+    forced.force_num_subsets = s;
+    const dpc::DpcResult r = dpc::ApproxDpc(forced).Run(points, params);
+    CHECK(r.delta == ap.delta);
+    CHECK(r.centers == ap.centers);
+    CHECK(r.label == ap.label);
+  }
+  CHECK(dpc::ApproxDpc::SolveNumSubsets(0, 2) == 1);
+  CHECK(dpc::ApproxDpc::SolveNumSubsets(points.size(), 2) >= 1);
+
   // Structural invariants: every non-noise point reaches its cluster via
   // a denser dependency, and noise is exactly the sub-rho_min set.
   for (size_t i = 0; i < ap.label.size(); ++i) {

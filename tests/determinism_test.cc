@@ -1,15 +1,21 @@
-// Determinism guarantees: identical results across repeated runs AND
-// across thread counts (the parallel phases only write disjoint per-point
-// slots; ties are broken by id, never by arrival order).
+// Determinism guarantees: identical results across repeated runs, across
+// thread counts, AND across schedule strategies (the parallel phases only
+// write disjoint per-point slots; ties are broken by id, never by arrival
+// order — so static chunks, dynamic claiming, and LPT bins all land on
+// the same bits).
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/cfsfdp_a.h"
 #include "baselines/lsh_ddp.h"
 #include "core/approx_dpc.h"
 #include "core/ex_dpc.h"
+#include "core/registry.h"
 #include "core/s_approx_dpc.h"
 #include "data/generators.h"
+#include "parallel/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace {
@@ -81,6 +87,39 @@ int main() {
         CheckSameResult(serial, algo->Run(points, p));
       }
       CHECK(serial.num_clusters() > 0);
+    }
+  }
+
+  // API v2 sweep: every registered algorithm under
+  // {static, dynamic, LPT} x {1, 2, 8} threads, all through ONE shared
+  // ThreadPool — labels must be bit-identical to the 1-thread static
+  // baseline. (A smaller input keeps the quadratic baselines affordable
+  // while still exceeding the parallel-region threshold.)
+  {
+    dpc::data::GaussianBenchmarkParams small = gen;
+    small.num_points = 3000;
+    small.seed = 123;
+    const dpc::PointSet pts = dpc::data::GaussianBenchmark(small);
+    dpc::DpcParams p = params;
+    p.num_threads = 0;
+    p.epsilon = 0.5;
+
+    auto pool = std::make_shared<dpc::ThreadPool>(8);
+    for (const std::string& name : dpc::RegisteredAlgorithmNames()) {
+      auto algo = dpc::MakeAlgorithmByName(name);
+      CHECK(algo.ok());
+      const dpc::ExecutionContext base(1, dpc::ScheduleStrategy::kStatic, pool);
+      const dpc::DpcResult baseline = algo.value()->Run(pts, p, base);
+      CHECK(baseline.num_clusters() > 0);
+      for (const auto strategy :
+           {dpc::ScheduleStrategy::kStatic, dpc::ScheduleStrategy::kDynamic,
+            dpc::ScheduleStrategy::kCostGuided}) {
+        for (const int threads : {1, 2, 8}) {
+          const dpc::ExecutionContext ctx(threads, strategy, pool);
+          CheckSameResult(baseline, algo.value()->Run(pts, p, ctx));
+        }
+      }
+      std::printf("%-12s identical across strategies x threads\n", name.c_str());
     }
   }
 

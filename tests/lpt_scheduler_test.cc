@@ -1,0 +1,107 @@
+// The §4.5 LPT scheduler: balance quality against the hash-partition
+// strawman on skewed cost vectors, deterministic assignment, and the
+// empty/single-cell edge cases.
+#include <cstdio>
+#include <vector>
+
+#include "parallel/lpt_scheduler.h"
+#include "tests/test_util.h"
+
+namespace {
+
+// Every item appears in exactly one bin, and load[] matches the costs.
+void CheckWellFormed(const dpc::Schedule& s, const std::vector<double>& costs,
+                     int expected_bins) {
+  CHECK_EQ(s.num_bins(), expected_bins);
+  CHECK_EQ(s.load.size(), static_cast<size_t>(expected_bins));
+  std::vector<int> times_assigned(costs.size(), 0);
+  double max_load = 0.0;
+  for (int t = 0; t < s.num_bins(); ++t) {
+    double load = 0.0;
+    for (const int64_t item : s.bins[static_cast<size_t>(t)]) {
+      CHECK(item >= 0 && item < static_cast<int64_t>(costs.size()));
+      ++times_assigned[static_cast<size_t>(item)];
+      load += costs[static_cast<size_t>(item)];
+    }
+    CHECK_NEAR(load, s.load[static_cast<size_t>(t)], 1e-9);
+    if (load > max_load) max_load = load;
+  }
+  for (const int assigned : times_assigned) CHECK_EQ(assigned, 1);
+  CHECK_NEAR(s.makespan, max_load, 1e-9);
+}
+
+}  // namespace
+
+int main() {
+  // Skewed costs: one giant cell plus a Zipf-ish tail — the dense-cell
+  // shape the grid produces on clustered data.
+  std::vector<double> costs;
+  for (int i = 0; i < 400; ++i) costs.push_back(1000.0 / (1 + i));
+
+  for (const int threads : {2, 8, 16}) {
+    const dpc::Schedule lpt = dpc::LptSchedule(costs, threads);
+    const dpc::Schedule hash = dpc::HashSchedule(costs, threads);
+    CheckWellFormed(lpt, costs, threads);
+    CheckWellFormed(hash, costs, threads);
+
+    // The satellite contract: LPT's makespan/mean never exceeds the
+    // hash partitioning's on this skewed vector.
+    CHECK(lpt.Imbalance() <= hash.Imbalance() + 1e-9);
+    // Makespan lower bounds: the mean load and the largest single item.
+    CHECK(lpt.makespan >= lpt.MeanLoad() - 1e-9);
+    CHECK(lpt.makespan >= costs[0] - 1e-9);
+    std::printf("threads=%2d  LPT %.4f  hash %.4f (makespan/mean)\n", threads,
+                lpt.Imbalance(), hash.Imbalance());
+  }
+
+  // Deterministic: a fixed cost vector always yields the same assignment.
+  {
+    const dpc::Schedule a = dpc::LptSchedule(costs, 8);
+    const dpc::Schedule b = dpc::LptSchedule(costs, 8);
+    CHECK(a.bins == b.bins);
+    CHECK(a.load == b.load);
+  }
+
+  // Equal costs tie-break deterministically too (items in id order).
+  {
+    const std::vector<double> flat(16, 1.0);
+    const dpc::Schedule a = dpc::LptSchedule(flat, 4);
+    CHECK(a.bins == dpc::LptSchedule(flat, 4).bins);
+    CHECK_NEAR(a.Imbalance(), 1.0, 1e-9);  // 16 equal items over 4 bins
+  }
+
+  // Empty cost vector: all bins exist, all empty, perfect "balance".
+  {
+    const dpc::Schedule empty = dpc::LptSchedule({}, 4);
+    CheckWellFormed(empty, {}, 4);
+    CHECK_EQ(empty.makespan, 0.0);
+    CHECK_NEAR(empty.Imbalance(), 1.0, 1e-9);
+  }
+
+  // Single cell: exactly one bin carries it; makespan equals its cost.
+  {
+    const std::vector<double> one = {5.0};
+    const dpc::Schedule s = dpc::LptSchedule(one, 4);
+    CheckWellFormed(s, one, 4);
+    CHECK_EQ(s.makespan, 5.0);
+    CHECK_EQ(s.bins[0].size(), 1u);  // load ties pick the smallest bin id
+  }
+
+  // Degenerate bin counts clamp to 1.
+  {
+    const dpc::Schedule s = dpc::LptSchedule(costs, 0);
+    CheckWellFormed(s, costs, 1);
+    CHECK_NEAR(s.makespan, s.TotalLoad(), 1e-9);
+  }
+
+  // More bins than items: extras stay empty, nothing is lost.
+  {
+    const std::vector<double> few = {3.0, 1.0};
+    const dpc::Schedule s = dpc::LptSchedule(few, 8);
+    CheckWellFormed(s, few, 8);
+    CHECK_EQ(s.makespan, 3.0);
+  }
+
+  std::printf("lpt_scheduler_test OK\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// The parallel/ layer underneath API v2: ThreadPool task-execution
+// guarantees, ParallelFor/ParallelForWithCosts coverage under every
+// strategy, the shared default pool, and ExecutionContext
+// deadline/cancellation semantics.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/ex_dpc.h"
+#include "data/generators.h"
+#include "parallel/execution_context.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "tests/test_util.h"
+
+int main() {
+  // ThreadPool: every task runs exactly once, across many reused regions
+  // (the pool must not leak state between Run calls).
+  {
+    dpc::ThreadPool pool(4);
+    CHECK_EQ(pool.size(), 4);
+    for (int round = 0; round < 100; ++round) {
+      std::vector<int> hits(257, 0);
+      pool.Run(257, [&](int64_t t) { hits[static_cast<size_t>(t)] += 1; });
+      for (const int h : hits) CHECK_EQ(h, 1);
+    }
+    // Degenerate task counts.
+    pool.Run(0, [](int64_t) { CHECK(false); });
+    int once = 0;
+    pool.Run(1, [&](int64_t) { ++once; });
+    CHECK_EQ(once, 1);
+    // Nested Run degrades to inline serial execution, no deadlock.
+    std::atomic<int> nested{0};
+    pool.Run(4, [&](int64_t) {
+      pool.Run(8, [&](int64_t) { nested.fetch_add(1); });
+    });
+    CHECK_EQ(nested.load(), 32);
+  }
+
+  // ParallelFor and ParallelForWithCosts: exact coverage under every
+  // strategy x thread count, on one shared pool.
+  {
+    auto pool = std::make_shared<dpc::ThreadPool>(4);
+    for (const auto strategy :
+         {dpc::ScheduleStrategy::kStatic, dpc::ScheduleStrategy::kDynamic,
+          dpc::ScheduleStrategy::kCostGuided}) {
+      for (const int threads : {1, 2, 4}) {
+        const dpc::ExecutionContext ctx(threads, strategy, pool);
+        CHECK_EQ(ctx.threads(), threads);
+
+        std::vector<int> seen(10000, 0);
+        dpc::ParallelFor(ctx, 10000, [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) seen[static_cast<size_t>(i)]++;
+        });
+        for (const int s : seen) CHECK_EQ(s, 1);
+
+        std::vector<double> costs(500);
+        for (size_t i = 0; i < costs.size(); ++i) {
+          costs[i] = 1000.0 / static_cast<double>(1 + i);  // skewed
+        }
+        std::vector<int> item_seen(costs.size(), 0);
+        dpc::ParallelForWithCosts(ctx, costs, [&](int64_t item) {
+          item_seen[static_cast<size_t>(item)]++;
+        });
+        for (const int s : item_seen) CHECK_EQ(s, 1);
+      }
+    }
+  }
+
+  // Default-constructed contexts share one process-wide pool (pool
+  // reuse is the point of the redesign), and WithThreads/WithStrategy
+  // copies keep sharing it.
+  {
+    const dpc::ExecutionContext a;
+    const dpc::ExecutionContext b;
+    CHECK(a.shared_pool().get() == b.shared_pool().get());
+    CHECK(a.WithThreads(2).shared_pool().get() == a.shared_pool().get());
+    CHECK_EQ(a.WithThreads(2).threads(), 2);
+    CHECK(a.WithStrategy(dpc::ScheduleStrategy::kDynamic).strategy() ==
+          dpc::ScheduleStrategy::kDynamic);
+    // Default policy: unspecified thread count, cost-guided scheduling.
+    CHECK_EQ(a.num_threads(), 0);
+    CHECK(a.strategy() == dpc::ScheduleStrategy::kCostGuided);
+  }
+
+  // Cancellation propagates to every copy (algorithms run on a resolved
+  // copy, so RequestCancel on the caller's context must reach it).
+  {
+    const dpc::ExecutionContext ctx(2);
+    const dpc::ExecutionContext copy = ctx.WithThreads(4);
+    CHECK(!ctx.ShouldStop());
+    ctx.RequestCancel();
+    CHECK(ctx.ShouldStop());
+    CHECK(copy.ShouldStop());
+  }
+
+  // An expired deadline stops the run — including copies made BEFORE the
+  // deadline was set (the deadline lives in the shared stop state, like
+  // the cancel flag, so bounding an already-running clone works).
+  {
+    dpc::ExecutionContext ctx;
+    const dpc::ExecutionContext copy = ctx.WithThreads(2);
+    CHECK(!copy.ShouldStop());
+    ctx.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::seconds(1));
+    CHECK(ctx.ShouldStop());
+    CHECK(copy.ShouldStop());
+    dpc::ExecutionContext fresh;
+    fresh.set_deadline_after(std::chrono::hours(1));
+    CHECK(!fresh.ShouldStop());
+  }
+
+  // A cancelled run stops at the first phase boundary: interrupted stats,
+  // every label kUnassigned, no centers.
+  {
+    dpc::data::GaussianBenchmarkParams gen;
+    gen.num_points = 500;
+    gen.num_clusters = 3;
+    gen.seed = 11;
+    const dpc::PointSet points = dpc::data::GaussianBenchmark(gen);
+    dpc::DpcParams params;
+    params.d_cut = 2000.0;
+    params.rho_min = 2.0;
+    params.delta_min = 9000.0;
+
+    dpc::ExecutionContext cancelled(2);
+    cancelled.RequestCancel();
+    dpc::ExDpc algo;
+    const dpc::DpcResult result = algo.Run(points, params, cancelled);
+    CHECK(result.stats.interrupted);
+    CHECK_EQ(result.label.size(), static_cast<size_t>(points.size()));
+    for (const int64_t label : result.label) CHECK_EQ(label, dpc::kUnassigned);
+    CHECK_EQ(result.centers.size(), 0u);
+
+    // The same run without cancellation completes normally.
+    const dpc::DpcResult ok = algo.Run(points, params, dpc::ExecutionContext(2));
+    CHECK(!ok.stats.interrupted);
+    CHECK(ok.num_clusters() > 0);
+  }
+
+  std::printf("parallel_test OK\n");
+  return 0;
+}

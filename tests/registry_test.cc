@@ -49,6 +49,41 @@ int main() {
                 static_cast<long long>(result.num_clusters()));
   }
 
+  // Options-map construction (API v2): typed keys wire through; unknown
+  // keys and malformed values fail with InvalidArgument naming the key.
+  {
+    auto tuned = dpc::MakeAlgorithmByName(
+        "approx-dpc", {{"joint_range_search", "false"}, {"scheduler", "static"}});
+    CHECK(tuned.ok());
+    const dpc::DpcResult r = tuned.value()->Run(points, params);
+    CHECK_EQ(r.label.size(), static_cast<size_t>(points.size()));
+    CHECK(r.num_clusters() >= 1);
+
+    auto lsh = dpc::MakeAlgorithmByName(
+        "lsh-ddp", {{"num_tables", "6"}, {"num_bits", "5"}});
+    CHECK(lsh.ok());
+    CHECK(lsh.value()->Run(points, params).num_clusters() >= 1);
+
+    auto bad_key = dpc::MakeAlgorithmByName("ex-dpc", {{"nope", "1"}});
+    CHECK(!bad_key.ok());
+    CHECK(bad_key.status().code() == dpc::StatusCode::kInvalidArgument);
+    CHECK(bad_key.status().message().find("nope") != std::string::npos);
+
+    auto bad_value = dpc::MakeAlgorithmByName(
+        "approx-dpc", {{"joint_range_search", "maybe"}});
+    CHECK(!bad_value.ok());
+    CHECK(bad_value.status().code() == dpc::StatusCode::kInvalidArgument);
+
+    auto bad_range = dpc::MakeAlgorithmByName("cfsfdp-a", {{"sample_rate", "2"}});
+    CHECK(!bad_range.ok());
+
+    // The CLI's --opt grammar.
+    auto parsed = dpc::ParseOptionList({"num_tables=6", "num_bits=5"});
+    CHECK(parsed.ok());
+    CHECK_EQ(parsed.value().size(), 2u);
+    CHECK(!dpc::ParseOptionList({"no-equals-sign"}).ok());
+  }
+
   // Unknown names: NotFound, and the message lists the menu.
   auto missing = dpc::MakeAlgorithmByName("no-such-algorithm");
   CHECK(!missing.ok());
