@@ -94,13 +94,19 @@ class LshDdp : public DpcAlgorithm {
     // Local rho over each point's bucket union. Duplicates across tables
     // are skipped with a query-id-stamped scratch array — cheaper than
     // materializing and sorting the union per point. The O(n) scratch is
-    // paid once per chunk callback, so this loop pins the static strategy
-    // (one chunk per thread) instead of dynamic's ~8 chunks per thread.
+    // paid once per chunk callback, so this loop uses
+    // ParallelForStaticChunks (exactly one callback per thread chunk) and
+    // polls the stop state itself instead of relying on ParallelFor's
+    // sub-slice polling.
     const double r_sq = params.d_cut * params.d_cut;
-    ParallelFor(exec.WithStrategy(ScheduleStrategy::kStatic), n,
-                [&](PointId begin, PointId end) {
+    ParallelForStaticChunks(exec, n, [&](PointId begin, PointId end) {
       std::vector<PointId> last_query(static_cast<size_t>(n), PointId{-1});
+      int64_t until_poll = internal::kStopCheckStride;
       for (PointId i = begin; i < end; ++i) {
+        if (--until_poll <= 0) {
+          if (exec.ShouldStop()) return;
+          until_poll = internal::kStopCheckStride;
+        }
         PointId count = 0;
         for (int t = 0; t < lsh.num_tables(); ++t) {
           for (const PointId j : lsh.Bucket(t, i)) {

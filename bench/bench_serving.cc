@@ -1,0 +1,272 @@
+// Serving-layer benchmark — not a paper figure: a closed-loop load
+// generator over serve/ClusterServer measuring what the subsystem adds
+// on top of the §6 single-run numbers:
+//
+//   1. Throughput and p50/p99 response latency for a repeated-config
+//      workload (the decision-graph exploration pattern: many clients,
+//      few distinct configurations), with the result cache off vs on.
+//      The acceptance bar: the cache-hit path is >= 10x faster than
+//      recompute.
+//   2. A mixed-deadline batch: one request with a microscopic budget
+//      expires (kDeadlineExceeded) while its batch-mates complete with
+//      labels bit-identical to a direct DpcAlgorithm::Run.
+//
+// Scale with DPC_BENCH_SCALE / DPC_BENCH_THREADS as usual. Exits
+// non-zero if either demonstration fails, so CI can smoke-run it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/registry.h"
+#include "data/generators.h"
+#include "eval/bench_config.h"
+#include "eval/table.h"
+#include "serve/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadResult {
+  std::vector<double> latencies;    ///< seconds, submit -> response
+  /// Service time of cache hits: client latency minus reported queue
+  /// wait — what the server actually spends answering from the cache.
+  std::vector<double> hit_service;
+  /// Algorithm wall time of real computations (ClusterResponse::run_seconds).
+  std::vector<double> miss_run;
+  double wall_seconds = 0.0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  return v[static_cast<size_t>(rank + 0.5)];
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+/// num_clients closed-loop clients, each firing requests_per_client
+/// requests that cycle through `configs` (phase-shifted per client so
+/// distinct configs overlap within batches).
+LoadResult RunClosedLoop(dpc::serve::ClusterServer& server,
+                         const std::string& dataset,
+                         const std::vector<dpc::DpcParams>& configs,
+                         int num_clients, int requests_per_client) {
+  std::vector<LoadResult> per_client(static_cast<size_t>(num_clients));
+  const auto begin = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      LoadResult& mine = per_client[static_cast<size_t>(c)];
+      for (int q = 0; q < requests_per_client; ++q) {
+        dpc::serve::ClusterRequest request;
+        request.dataset = dataset;
+        request.params = configs[static_cast<size_t>(
+            (q + c) % static_cast<int>(configs.size()))];
+        const auto sent = Clock::now();
+        const dpc::serve::ClusterResponse response =
+            server.Submit(std::move(request)).get();
+        const double latency =
+            std::chrono::duration<double>(Clock::now() - sent).count();
+        mine.latencies.push_back(latency);
+        if (!response.status.ok()) {
+          ++mine.errors;
+        } else if (response.cache_hit) {
+          mine.hit_service.push_back(
+              std::max(latency - response.queue_seconds, 0.0));
+        } else {
+          mine.miss_run.push_back(response.run_seconds);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  LoadResult total;
+  total.wall_seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  for (LoadResult& mine : per_client) {
+    total.latencies.insert(total.latencies.end(), mine.latencies.begin(),
+                           mine.latencies.end());
+    total.hit_service.insert(total.hit_service.end(),
+                             mine.hit_service.begin(), mine.hit_service.end());
+    total.miss_run.insert(total.miss_run.end(), mine.miss_run.begin(),
+                          mine.miss_run.end());
+    total.errors += mine.errors;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpc;
+  const eval::BenchConfig cfg = eval::LoadBenchConfig();
+  std::printf("=== serving layer: batched admission + result cache "
+              "(scale %.4g, %d pool threads)\n\n",
+              cfg.scale, cfg.max_threads);
+
+  data::GaussianBenchmarkParams gen;
+  gen.num_points = cfg.Scaled(500000);
+  gen.num_clusters = 15;
+  gen.noise_rate = 0.01;
+  gen.seed = 7;
+  PointSet points = data::GaussianBenchmark(gen);
+  const PointId n = points.size();
+  std::printf("dataset: %lld points, %d Gaussian clusters\n\n",
+              static_cast<long long>(n), gen.num_clusters);
+
+  // The repeated-config workload: 4 distinct d_cut values (a decision-
+  // graph sweep), revisited by every client.
+  std::vector<DpcParams> configs;
+  for (const double d_cut : {800.0, 1000.0, 1200.0, 1500.0}) {
+    DpcParams params;
+    params.d_cut = d_cut;
+    params.rho_min = 5.0;
+    params.delta_min = 3.0 * d_cut;
+    configs.push_back(params);
+  }
+  const int num_clients = 4;
+  const int requests_per_client = 16;
+
+  eval::Table table({"cache", "requests", "errors", "throughput [req/s]",
+                     "p50 [ms]", "p99 [ms]", "hit rate"});
+  double mean_hit = 0.0;
+  double mean_miss_cached_phase = 0.0;
+  size_t cached_phase_hits = 0;
+  uint64_t total_errors = 0;
+  for (const bool cached : {false, true}) {
+    serve::ServerOptions options;
+    options.pool_threads = cfg.max_threads;
+    options.cache_capacity = cached ? 32 : 0;
+    // Zero coalescing window: closed-loop clients batch naturally (the
+    // dispatcher pops whatever accumulated while busy), and reported
+    // latencies are pure service, not door-holding.
+    options.batch_window = std::chrono::milliseconds(0);
+    serve::ClusterServer server(options);
+    server.datasets().Register("bench", points);  // copy; reused next phase
+
+    const LoadResult load = RunClosedLoop(server, "bench", configs,
+                                          num_clients, requests_per_client);
+    const size_t total = load.latencies.size();
+    table.AddRow(
+        {cached ? "on" : "off", StrFormat("%zu", total),
+         StrFormat("%llu", static_cast<unsigned long long>(load.errors)),
+         StrFormat("%.1f", static_cast<double>(total) / load.wall_seconds),
+         StrFormat("%.2f", Percentile(load.latencies, 50) * 1e3),
+         StrFormat("%.2f", Percentile(load.latencies, 99) * 1e3),
+         StrFormat("%.0f%%", 100.0 * static_cast<double>(load.hit_service.size()) /
+                                 static_cast<double>(total))});
+    if (cached) {
+      mean_hit = Mean(load.hit_service);
+      mean_miss_cached_phase = Mean(load.miss_run);
+      cached_phase_hits = load.hit_service.size();
+    }
+    total_errors += load.errors;
+  }
+  table.Print();
+
+  // The gate only holds if the cache actually hit and every request
+  // succeeded — a broken cache (zero hits) or erroring workload must
+  // FAIL, not divide its way to a bogus speedup.
+  bool ok = true;
+  if (total_errors > 0) {
+    std::printf("\nFAIL: %llu request(s) errored during the load phases\n",
+                static_cast<unsigned long long>(total_errors));
+    ok = false;
+  }
+  if (cached_phase_hits == 0) {
+    std::printf("\nFAIL: the cached phase produced no cache hits\n");
+    ok = false;
+  } else {
+    const double speedup = mean_miss_cached_phase / std::max(mean_hit, 1e-9);
+    std::printf(
+        "\ncache-hit service: mean %.3fms vs recompute %.3fms -> %.1fx "
+        "(%zu hits)\n",
+        mean_hit * 1e3, mean_miss_cached_phase * 1e3, speedup,
+        cached_phase_hits);
+    if (speedup >= 10.0) {
+      std::printf("PASS: cache-hit path is >= 10x faster than recompute\n");
+    } else {
+      std::printf("FAIL: expected >= 10x\n");
+      ok = false;
+    }
+  }
+
+  // --- mixed-deadline batch -------------------------------------------
+  // Three requests admitted together: the 1us budget expires (the batch
+  // window alone exceeds it), the others complete; completed labels must
+  // be bit-identical to a direct Run with the same configuration.
+  std::printf("\n=== mixed-deadline batch\n");
+  {
+    serve::ServerOptions options;
+    options.pool_threads = cfg.max_threads;
+    options.cache_capacity = 0;  // force real executions
+    serve::ClusterServer server(options);
+    server.datasets().Register("bench", points);
+
+    serve::ClusterRequest doomed;
+    doomed.dataset = "bench";
+    doomed.params = configs[0];
+    doomed.deadline = std::chrono::microseconds(1);
+    serve::ClusterRequest fine1;
+    fine1.dataset = "bench";
+    fine1.params = configs[1];
+    serve::ClusterRequest fine2;
+    fine2.dataset = "bench";
+    fine2.params = configs[2];
+
+    auto f0 = server.Submit(doomed);
+    auto f1 = server.Submit(fine1);
+    auto f2 = server.Submit(fine2);
+    const serve::ClusterResponse r0 = f0.get();
+    const serve::ClusterResponse r1 = f1.get();
+    const serve::ClusterResponse r2 = f2.get();
+
+    if (r0.status.code() == StatusCode::kDeadlineExceeded) {
+      std::printf("PASS: 1us-deadline request -> %s\n",
+                  r0.status.ToString().c_str());
+    } else {
+      std::printf("FAIL: expected DEADLINE_EXCEEDED, got %s\n",
+                  r0.status.ToString().c_str());
+      ok = false;
+    }
+
+    auto algo = MakeAlgorithmByName("approx-dpc");
+    const std::vector<std::pair<const serve::ClusterResponse*, const DpcParams*>>
+        survivors = {{&r1, &configs[1]}, {&r2, &configs[2]}};
+    for (const auto& [response, params] : survivors) {
+      if (!response->status.ok()) {
+        std::printf("FAIL: batch-mate errored: %s\n",
+                    response->status.ToString().c_str());
+        ok = false;
+        continue;
+      }
+      const DpcResult direct = algo.value()->Run(points, *params);
+      if (response->result->label == direct.label) {
+        std::printf("PASS: d_cut=%g batch-mate labels bit-identical to "
+                    "direct Run (%lld clusters)\n",
+                    params->d_cut,
+                    static_cast<long long>(direct.num_clusters()));
+      } else {
+        std::printf("FAIL: d_cut=%g labels diverge from direct Run\n",
+                    params->d_cut);
+        ok = false;
+      }
+    }
+  }
+
+  std::printf("\n%s\n", ok ? "bench_serving OK" : "bench_serving FAILED");
+  return ok ? 0 : 1;
+}

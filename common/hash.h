@@ -11,6 +11,20 @@
 
 namespace dpc {
 
+/// FNV-1a over a raw byte range, chainable via the seed parameter. Used
+/// for dataset content fingerprints (serve/dataset_registry.h); the same
+/// constants as Int64VectorHash below.
+inline uint64_t Fnv1aBytes(const void* data, size_t size,
+                           uint64_t seed = 1469598103934665603ULL) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// FNV-1a over the little-endian bytes of each coordinate.
 struct Int64VectorHash {
   size_t operator()(const std::vector<int64_t>& coords) const {

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -40,6 +41,58 @@ inline StatusOr<OptionsMap> ParseOptionList(
     map[item.substr(0, eq)] = item.substr(eq + 1);
   }
   return map;
+}
+
+/// Normalizes one option value to its canonical spelling: exact integers
+/// re-render through int64 (so "08" becomes "8" without the double
+/// rounding that would merge distinct values above 2^53 — OptionsReader
+/// parses integer options exactly, so the canonical form must too),
+/// other finite numbers through %.17g (so "0.50", "5e-1", and ".5" all
+/// become "0.5"), boolean words collapse to "1"/"0" (mirroring
+/// OptionsReader::Bool's vocabulary), and anything else — enum values
+/// like "lpt", paths, names — is preserved byte-for-byte.
+inline std::string CanonicalOptionValue(const std::string& value) {
+  if (value == "true" || value == "on" || value == "yes") return "1";
+  if (value == "false" || value == "off" || value == "no") return "0";
+  char* end = nullptr;
+  errno = 0;
+  const long long as_int = std::strtoll(value.c_str(), &end, 10);
+  if (!value.empty() && end == value.c_str() + value.size() &&
+      errno != ERANGE) {
+    return std::to_string(as_int);
+  }
+  end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (!value.empty() && end == value.c_str() + value.size() &&
+      errno != ERANGE && std::isfinite(parsed)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", parsed);
+    return buf;
+  }
+  return value;
+}
+
+/// The map with every value canonicalized (keys are already sorted — the
+/// OptionsMap is a std::map), so semantically identical `--opt` spellings
+/// compare and hash equal. Used by the serving layer's result-cache key.
+inline OptionsMap CanonicalizeOptions(const OptionsMap& map) {
+  OptionsMap out;
+  for (const auto& [key, value] : map) out[key] = CanonicalOptionValue(value);
+  return out;
+}
+
+/// "k1=v1,k2=v2" over the canonicalized map — a stable, hashable rendering
+/// of the whole option set (empty string for an empty map).
+inline std::string CanonicalOptionsString(const OptionsMap& map) {
+  std::string out;
+  for (const auto& [key, value] : map) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += CanonicalOptionValue(value);
+  }
+  return out;
 }
 
 /// Typed, consume-tracking view over an OptionsMap. Each getter parses

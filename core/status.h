@@ -18,6 +18,8 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 class Status {
@@ -41,6 +43,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -68,6 +76,12 @@ class Status {
         break;
       case StatusCode::kInternal:
         name = "INTERNAL";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        name = "DEADLINE_EXCEEDED";
+        break;
+      case StatusCode::kCancelled:
+        name = "CANCELLED";
         break;
     }
     return std::string(name) + ": " + message_;

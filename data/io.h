@@ -5,6 +5,7 @@
 #ifndef DPC_DATA_IO_H_
 #define DPC_DATA_IO_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -93,7 +94,15 @@ inline StatusOr<PointSet> LoadBinary(const std::string& path) {
   return points;
 }
 
-/// Headerless CSV of coordinates; the first row fixes the dimensionality.
+/// CSV of coordinates; the first data row fixes the dimensionality. A
+/// first row that is not fully numeric (e.g. "x,y,z", or column names
+/// with numeric prefixes like "2d_x" or "nanoseconds") is treated as a
+/// header and skipped, so exports from pandas/spreadsheets load without
+/// preprocessing. Exactly one row can be skipped this way, and the
+/// inherent ambiguity lives there too: a *corrupt first* row is
+/// indistinguishable from a header and is skipped like one. From the
+/// first data row on, non-numeric and non-finite (nan/inf) fields are
+/// errors with their line number, never silent data loss.
 inline StatusOr<PointSet> LoadCsv(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return Status::IoError("cannot open " + path);
@@ -104,6 +113,7 @@ inline StatusOr<PointSet> LoadCsv(const std::string& path) {
   int dim = 0;
   int64_t line_no = 0;
   bool eof = false;
+  bool header_allowed = true;
   while (!eof) {
     line.clear();
     while (true) {
@@ -122,17 +132,30 @@ inline StatusOr<PointSet> LoadCsv(const std::string& path) {
     if (line.empty()) continue;
     row.clear();
     const char* s = line.c_str();
+    bool header = false;
     while (*s != '\0') {
       char* end = nullptr;
       const double v = std::strtod(s, &end);
-      if (end == s) {
+      // Non-finite parses catch both literal nan/inf fields and column
+      // names strtod half-eats ("nanoseconds" -> nan + "oseconds").
+      if (end == s || !std::isfinite(v)) {
+        // A failure on the first non-blank row marks the whole line as
+        // the (single skippable) header; any later failure is an error.
+        if (dim == 0 && header_allowed) {
+          header = true;
+          break;
+        }
         std::fclose(f);
         return Status::IoError(path + ":" + std::to_string(line_no) +
-                               ": not a number: '" + s + "'");
+                               ": not a finite number: '" + s + "'");
       }
       row.push_back(v);
       s = end;
       while (*s == ',' || *s == ' ' || *s == '\t') ++s;
+    }
+    if (header) {
+      header_allowed = false;
+      continue;
     }
     if (dim == 0) {
       dim = static_cast<int>(row.size());

@@ -1,0 +1,282 @@
+// dpc_server — a line-protocol driver for the serve/ layer: register
+// datasets once, then fire clustering requests at the shared engine and
+// read per-request responses (cache hits, deadline outcomes, timings).
+//
+// Usage:
+//   dpc_server [--batch FILE] [--threads N] [--cache N] [--max-batch N]
+//              [--batch-window-ms N]
+//
+// Commands are read from FILE (one per line; '#' starts a comment) or
+// interactively from stdin:
+//
+//   load NAME PATH            register a dataset from CSV (header row ok)
+//                             or DPCB binary (by .bin/.dpcb extension)
+//   gen NAME N [CLUSTERS] [SEED]
+//                             register a generated Gaussian benchmark
+//   drop NAME                 unregister a dataset handle
+//   run NAME ALGO k=v ...     submit a request. Keys:
+//                               d_cut= rho_min= delta_min= epsilon=
+//                               deadline_ms= priority= opt.KEY=VALUE
+//                             delta_min defaults to 2*d_cut, rho_min to 10.
+//   wait                      resolve pending requests, print responses
+//   stats                     print server + cache counters
+//   quit                      drain, shut down, exit
+//
+// Submissions are asynchronous: issuing several `run` lines before `wait`
+// is what exercises batched admission (and within-batch cache
+// coalescing). EOF implies `wait` + `quit`.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/options.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "eval/cluster_stats.h"
+#include "serve/server.h"
+
+namespace {
+
+struct Pending {
+  uint64_t id = 0;
+  std::string dataset;
+  std::string algorithm;
+  std::future<dpc::serve::ClusterResponse> future;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--batch FILE] [--threads N] [--cache N] "
+               "[--max-batch N] [--batch-window-ms N]\n"
+               "commands: load NAME PATH | gen NAME N [CLUSTERS] [SEED] | "
+               "drop NAME |\n"
+               "          run NAME ALGO k=v ... | wait | stats | quit\n",
+               argv0);
+  return 2;
+}
+
+/// Splits a command line on whitespace runs.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+void PrintResponse(const Pending& p, const dpc::serve::ClusterResponse& r) {
+  if (!r.status.ok()) {
+    std::printf("#%llu %s %s -> %s (queue %.1fms)\n",
+                static_cast<unsigned long long>(p.id), p.dataset.c_str(),
+                p.algorithm.c_str(), r.status.ToString().c_str(),
+                r.queue_seconds * 1e3);
+    return;
+  }
+  const dpc::eval::ClusterSummary summary = dpc::eval::Summarize(*r.result);
+  std::printf(
+      "#%llu %s %s -> ok: %s%s (queue %.1fms, run %.1fms)\n",
+      static_cast<unsigned long long>(p.id), p.dataset.c_str(),
+      p.algorithm.c_str(), dpc::eval::ToString(summary).c_str(),
+      r.cache_hit ? " [cache hit]" : "", r.queue_seconds * 1e3,
+      r.run_seconds * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string batch_path;
+  dpc::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--batch" && i + 1 < argc) {
+      batch_path = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      options.pool_threads = std::atoi(argv[++i]);
+    } else if (a == "--cache" && i + 1 < argc) {
+      options.cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (a == "--max-batch" && i + 1 < argc) {
+      options.max_batch = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (a == "--batch-window-ms" && i + 1 < argc) {
+      options.batch_window = std::chrono::milliseconds(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  std::FILE* in = stdin;
+  if (!batch_path.empty()) {
+    in = std::fopen(batch_path.c_str(), "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", batch_path.c_str());
+      return 1;
+    }
+  }
+  // In scripted (batch) mode both command errors and non-OK responses
+  // are fatal, so a CI session cannot "pass" with failing requests;
+  // interactively everything just prints.
+  const bool strict = !batch_path.empty();
+
+  dpc::serve::ClusterServer server(options);
+  std::vector<Pending> pending;
+  uint64_t next_id = 1;
+  int exit_code = 0;
+
+  auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    if (strict) exit_code = 1;
+    return strict;  // true = abort the session
+  };
+
+  auto wait_all = [&] {
+    for (Pending& p : pending) {
+      const dpc::serve::ClusterResponse response = p.future.get();
+      PrintResponse(p, response);
+      if (strict && !response.status.ok()) exit_code = 1;
+    }
+    pending.clear();
+  };
+
+  char buf[4096];
+  while (exit_code == 0 && std::fgets(buf, sizeof(buf), in) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    // '#' starts a comment only at the line start or after whitespace,
+    // so paths containing '#' survive.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' &&
+          (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) {
+        line.resize(i);
+        break;
+      }
+    }
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "load" && tokens.size() == 3) {
+      const std::string& name = tokens[1];
+      const std::string& path = tokens[2];
+      auto loaded = path.ends_with(".bin") || path.ends_with(".dpcb")
+                        ? dpc::data::LoadBinary(path)
+                        : dpc::data::LoadCsv(path);
+      if (!loaded.ok()) {
+        if (fail(loaded.status().ToString())) break;
+        continue;
+      }
+      dpc::PointSet points = std::move(loaded).value();
+      const long long n = points.size();
+      const int dim = points.dim();
+      const uint64_t fp = server.datasets().Register(name, std::move(points));
+      std::printf("loaded %s: n=%lld dim=%d fingerprint=%016llx\n",
+                  name.c_str(), n, dim, static_cast<unsigned long long>(fp));
+    } else if (cmd == "gen" && (tokens.size() >= 3 && tokens.size() <= 5)) {
+      dpc::data::GaussianBenchmarkParams gen;
+      gen.num_points = std::atoll(tokens[2].c_str());
+      gen.num_clusters = tokens.size() > 3 ? std::atoi(tokens[3].c_str()) : 15;
+      gen.seed = tokens.size() > 4
+                     ? static_cast<uint64_t>(std::atoll(tokens[4].c_str()))
+                     : 42;
+      if (gen.num_points <= 0 || gen.num_clusters <= 0) {
+        if (fail("gen needs positive N and CLUSTERS")) break;
+        continue;
+      }
+      const uint64_t fp = server.datasets().Register(
+          tokens[1], dpc::data::GaussianBenchmark(gen));
+      std::printf("generated %s: n=%lld clusters=%d fingerprint=%016llx\n",
+                  tokens[1].c_str(), static_cast<long long>(gen.num_points),
+                  gen.num_clusters, static_cast<unsigned long long>(fp));
+    } else if (cmd == "drop" && tokens.size() == 2) {
+      std::printf("drop %s: %s\n", tokens[1].c_str(),
+                  server.datasets().Unregister(tokens[1]) ? "ok" : "unknown");
+    } else if (cmd == "run" && tokens.size() >= 3) {
+      dpc::serve::ClusterRequest request;
+      request.dataset = tokens[1];
+      request.algorithm = tokens[2];
+      request.params.rho_min = 10.0;
+      request.params.delta_min = 0.0;  // defaulted below once d_cut is known
+      std::string bad;
+      for (size_t t = 3; t < tokens.size(); ++t) {
+        const size_t eq = tokens[t].find('=');
+        if (eq == std::string::npos || eq == 0) {
+          bad = "'" + tokens[t] + "' is not key=value";
+          break;
+        }
+        const std::string key = tokens[t].substr(0, eq);
+        const std::string value = tokens[t].substr(eq + 1);
+        if (key == "d_cut") {
+          request.params.d_cut = std::atof(value.c_str());
+        } else if (key == "rho_min") {
+          request.params.rho_min = std::atof(value.c_str());
+        } else if (key == "delta_min") {
+          request.params.delta_min = std::atof(value.c_str());
+        } else if (key == "epsilon") {
+          request.params.epsilon = std::atof(value.c_str());
+        } else if (key == "deadline_ms") {
+          request.deadline = std::chrono::milliseconds(std::atoll(value.c_str()));
+        } else if (key == "priority") {
+          request.priority = std::atoi(value.c_str());
+        } else if (key.rfind("opt.", 0) == 0 && key.size() > 4) {
+          request.options[key.substr(4)] = value;
+        } else {
+          bad = "unknown key '" + key +
+                "' (expected d_cut, rho_min, delta_min, epsilon, "
+                "deadline_ms, priority, or opt.KEY)";
+          break;
+        }
+      }
+      if (!bad.empty()) {
+        if (fail(bad)) break;
+        continue;
+      }
+      if (request.params.delta_min <= 0.0) {
+        request.params.delta_min = 2.0 * request.params.d_cut;
+      }
+      Pending p;
+      p.id = next_id++;
+      p.dataset = request.dataset;
+      p.algorithm = request.algorithm;
+      p.future = server.Submit(std::move(request));
+      pending.push_back(std::move(p));
+    } else if (cmd == "wait" && tokens.size() == 1) {
+      wait_all();
+    } else if (cmd == "stats" && tokens.size() == 1) {
+      const dpc::serve::ServerStats s = server.stats();
+      const dpc::serve::ResultCache::Stats c = server.cache().stats();
+      std::printf(
+          "server: submitted=%llu completed=%llu cache_hits=%llu "
+          "deadline_exceeded=%llu errors=%llu\n",
+          static_cast<unsigned long long>(s.submitted),
+          static_cast<unsigned long long>(s.completed),
+          static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.deadline_exceeded),
+          static_cast<unsigned long long>(s.errors));
+      std::printf(
+          "cache: size=%zu/%zu hits=%llu misses=%llu evictions=%llu\n",
+          server.cache().size(), server.cache().capacity(),
+          static_cast<unsigned long long>(c.hits),
+          static_cast<unsigned long long>(c.misses),
+          static_cast<unsigned long long>(c.evictions));
+    } else if (cmd == "quit" && tokens.size() == 1) {
+      break;
+    } else {
+      if (fail("unknown or malformed command: '" + line + "'")) break;
+    }
+  }
+
+  wait_all();
+  server.Shutdown();
+  if (in != stdin) std::fclose(in);
+  return exit_code;
+}

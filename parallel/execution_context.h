@@ -81,6 +81,15 @@ class ExecutionContext {
     copy.strategy_ = strategy;
     return copy;
   }
+  /// A copy sharing the pool and policy but with FRESH stop state: a
+  /// deadline or cancel set on the derived context does not reach this
+  /// one (and vice versa). This is how a serving layer derives one
+  /// per-request context after another over a single shared pool.
+  ExecutionContext WithFreshStopState() const {
+    ExecutionContext copy = *this;
+    copy.stop_ = std::make_shared<StopState>();
+    return copy;
+  }
 
   // --- deadline / cancellation -----------------------------------------
   // Algorithms poll ShouldStop() at phase boundaries; an interrupted run

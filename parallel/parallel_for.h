@@ -13,6 +13,14 @@
 // slices, so loops whose writes are per-slot disjoint stay deterministic
 // across strategies and thread counts — the library-wide contract that
 // tests/determinism_test.cc enforces.
+//
+// Cancellation: both loops poll ctx.ShouldStop() amortized (every
+// kStopCheckStride indices / every claimed item) and stop issuing work
+// once it fires, so an expired or cancelled request releases the pool
+// mid-phase instead of at the next phase boundary. A stopped loop leaves
+// later indices unvisited — callers observe the same ShouldStop() at the
+// phase boundary (stop state is sticky) and discard the partial phase
+// via internal::Interrupted.
 #ifndef DPC_PARALLEL_PARALLEL_FOR_H_
 #define DPC_PARALLEL_PARALLEL_FOR_H_
 
@@ -29,6 +37,23 @@ namespace dpc {
 namespace internal {
 /// Below this iteration count a parallel region cannot pay for itself.
 inline constexpr int64_t kMinParallelIterations = 2048;
+/// Indices between ShouldStop polls in index loops. Large enough that the
+/// poll (two atomic loads, plus a clock read only when a deadline is set)
+/// vanishes against per-index work; small enough that a cancelled run
+/// frees its pool threads within microseconds.
+inline constexpr int64_t kStopCheckStride = 1024;
+
+/// Runs fn over [begin, end) in kStopCheckStride sub-slices, polling the
+/// context between slices. Returns false if the loop stopped early.
+template <typename Fn>
+bool RunSlices(const ExecutionContext& ctx, int64_t begin, int64_t end,
+               const Fn& fn) {
+  for (int64_t sub = begin; sub < end; sub += kStopCheckStride) {
+    if (ctx.ShouldStop()) return false;
+    fn(sub, std::min(sub + kStopCheckStride, end));
+  }
+  return true;
+}
 }  // namespace internal
 
 /// Calls fn(begin, end) over disjoint chunks of [0, n). kStatic: one
@@ -41,7 +66,7 @@ void ParallelFor(const ExecutionContext& ctx, int64_t n, const Fn& fn) {
   const int threads =
       static_cast<int>(std::min<int64_t>(ctx.threads(), n));
   if (threads <= 1 || n < internal::kMinParallelIterations) {
-    fn(int64_t{0}, n);
+    internal::RunSlices(ctx, 0, n, fn);
     return;
   }
   if (ctx.strategy() == ScheduleStrategy::kStatic) {
@@ -49,7 +74,7 @@ void ParallelFor(const ExecutionContext& ctx, int64_t n, const Fn& fn) {
     ctx.pool().Run(threads, [&](int64_t t) {
       const int64_t begin = t * chunk;
       const int64_t end = std::min(begin + chunk, n);
-      if (begin < end) fn(begin, end);
+      if (begin < end) internal::RunSlices(ctx, begin, end, fn);
     });
   } else {
     // ~8 grains per thread balances claim overhead against load balance.
@@ -60,17 +85,44 @@ void ParallelFor(const ExecutionContext& ctx, int64_t n, const Fn& fn) {
       for (;;) {
         const int64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
         if (begin >= n) break;
-        fn(begin, std::min(begin + grain, n));
+        if (!internal::RunSlices(ctx, begin, std::min(begin + grain, n), fn)) {
+          break;
+        }
       }
     });
   }
+}
+
+/// One fn(begin, end) callback per contiguous static chunk (one chunk
+/// per thread) — for loops that amortize expensive per-callback scratch
+/// over the whole chunk (LSH-DDP's stamped dedup array). Unlike
+/// ParallelFor, mid-chunk stop polling is the callback's job; this loop
+/// only skips chunks that have not started when the context says stop.
+template <typename Fn>
+void ParallelForStaticChunks(const ExecutionContext& ctx, int64_t n,
+                             const Fn& fn) {
+  if (n <= 0) return;
+  const int threads =
+      static_cast<int>(std::min<int64_t>(ctx.threads(), n));
+  if (threads <= 1 || n < internal::kMinParallelIterations) {
+    if (!ctx.ShouldStop()) fn(int64_t{0}, n);
+    return;
+  }
+  const int64_t chunk = (n + threads - 1) / threads;
+  ctx.pool().Run(threads, [&](int64_t t) {
+    if (ctx.ShouldStop()) return;
+    const int64_t begin = t * chunk;
+    const int64_t end = std::min(begin + chunk, n);
+    if (begin < end) fn(begin, end);
+  });
 }
 
 /// Calls fn(item) for every item in [0, costs.size()), where costs[item]
 /// models the item's work (index/grid.h::CellCosts for grid cells).
 /// kCostGuided partitions items with the §4.5 LPT scheduler, one bin per
 /// thread; kStatic splits into contiguous equal-count runs; kDynamic
-/// claims single items.
+/// claims single items. Items are heavy by definition (a cell's whole
+/// point population), so the stop poll runs per item.
 template <typename Fn>
 void ParallelForWithCosts(const ExecutionContext& ctx,
                           const std::vector<double>& costs, const Fn& fn) {
@@ -84,7 +136,10 @@ void ParallelForWithCosts(const ExecutionContext& ctx,
   for (const double cost : costs) total_cost += cost;
   if (threads <= 1 ||
       total_cost < static_cast<double>(internal::kMinParallelIterations)) {
-    for (int64_t item = 0; item < n; ++item) fn(item);
+    for (int64_t item = 0; item < n; ++item) {
+      if (ctx.ShouldStop()) return;
+      fn(item);
+    }
     return;
   }
   switch (ctx.strategy()) {
@@ -93,7 +148,10 @@ void ParallelForWithCosts(const ExecutionContext& ctx,
       ctx.pool().Run(threads, [&](int64_t t) {
         const int64_t begin = t * chunk;
         const int64_t end = std::min(begin + chunk, n);
-        for (int64_t item = begin; item < end; ++item) fn(item);
+        for (int64_t item = begin; item < end; ++item) {
+          if (ctx.ShouldStop()) return;
+          fn(item);
+        }
       });
       break;
     }
@@ -102,7 +160,7 @@ void ParallelForWithCosts(const ExecutionContext& ctx,
       ctx.pool().Run(threads, [&](int64_t) {
         for (;;) {
           const int64_t item = next.fetch_add(1, std::memory_order_relaxed);
-          if (item >= n) break;
+          if (item >= n || ctx.ShouldStop()) break;
           fn(item);
         }
       });
@@ -112,6 +170,7 @@ void ParallelForWithCosts(const ExecutionContext& ctx,
       const Schedule schedule = LptSchedule(costs, threads);
       ctx.pool().Run(threads, [&](int64_t t) {
         for (const int64_t item : schedule.bins[static_cast<size_t>(t)]) {
+          if (ctx.ShouldStop()) return;
           fn(item);
         }
       });

@@ -1,0 +1,76 @@
+// Request/response vocabulary of the serving layer. A ClusterRequest is
+// the serve/ subsystem's unit of work — where core/'s unit is one
+// Run(points, params, ctx) invocation, a request names a *registered*
+// dataset by handle (serve/dataset_registry.h), an algorithm from the
+// core registry, per-algorithm key=value options, and per-request service
+// policy: a deadline budget and an admission priority.
+//
+// Lifecycle: ClusterServer::Submit validates and enqueues the request
+// with an admission timestamp; the scheduler batches it; execution either
+// answers from the result cache or derives a fresh-stop-state
+// ExecutionContext (deadline armed) over the server's shared pool and
+// runs the algorithm. The response carries a Status — kDeadlineExceeded
+// both for requests that expired in the queue and for runs interrupted
+// mid-phase — and, on success, a shared immutable DpcResult.
+#ifndef DPC_SERVE_REQUEST_H_
+#define DPC_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "core/dpc.h"
+#include "core/options.h"
+#include "core/status.h"
+
+namespace dpc::serve {
+
+struct ClusterRequest {
+  /// Handle of a dataset previously registered with the server's
+  /// DatasetRegistry — clients never re-ship points per request.
+  std::string dataset;
+  /// A core registry name (ex-dpc, approx-dpc, ...); resolved at
+  /// execution via MakeAlgorithmByName.
+  std::string algorithm = "approx-dpc";
+  /// Per-algorithm knobs, same grammar as `dpc_cli --opt` (core/options.h).
+  OptionsMap options;
+  /// Clustering knobs (d_cut, rho_min, delta_min, epsilon). The
+  /// deprecated num_threads field is ignored: execution policy belongs to
+  /// the server.
+  DpcParams params;
+  /// Wall-clock budget measured from admission; zero means no deadline.
+  /// Time spent queued counts against it, so an expired request is
+  /// rejected without ever touching the pool.
+  std::chrono::steady_clock::duration deadline{};
+  /// Higher-priority requests run earlier within a batch window; ties
+  /// keep submission order.
+  int priority = 0;
+
+  Status Validate() const {
+    if (dataset.empty()) {
+      return Status::InvalidArgument("request names no dataset handle");
+    }
+    if (algorithm.empty()) {
+      return Status::InvalidArgument("request names no algorithm");
+    }
+    if (deadline.count() < 0) {
+      return Status::InvalidArgument("deadline must be non-negative");
+    }
+    return params.Validate();
+  }
+};
+
+struct ClusterResponse {
+  Status status;
+  /// Set iff status.ok(). Shared and immutable: cache hits and coalesced
+  /// identical requests alias the same DpcResult.
+  std::shared_ptr<const DpcResult> result;
+  /// True when the response was answered from the result cache.
+  bool cache_hit = false;
+  double queue_seconds = 0.0;  ///< admission -> execution start
+  double run_seconds = 0.0;    ///< algorithm wall time (0 for cache hits)
+};
+
+}  // namespace dpc::serve
+
+#endif  // DPC_SERVE_REQUEST_H_

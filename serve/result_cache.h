@@ -1,0 +1,151 @@
+// Bounded LRU cache of clustering results, keyed by everything that
+// determines the labels: dataset content fingerprint, algorithm name,
+// canonicalized per-algorithm options, and the clustering params. The
+// decision-graph workflow the paper targets (§2, Figure 1) re-runs
+// clustering under many d_cut / delta_min values and revisits
+// configurations while exploring — exactly the access pattern an LRU
+// exploits.
+//
+// Execution policy (thread count, schedule strategy) is deliberately NOT
+// part of the key: the library-wide determinism contract (labels are
+// bit-identical across strategies and thread counts, enforced by
+// tests/determinism_test.cc) is what makes a cached result valid for
+// every future execution of the same configuration.
+//
+// Thread-safe; Lookup returns shared_ptr<const DpcResult> so hits alias
+// one immutable result. Eviction is strict LRU, so a fixed access
+// sequence evicts deterministically.
+#ifndef DPC_SERVE_RESULT_CACHE_H_
+#define DPC_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/options.h"
+
+namespace dpc::serve {
+
+/// The canonical cache key. Numeric params render with %.17g (the same
+/// normalization CanonicalOptionValue applies to option values), so any
+/// two requests whose configurations are semantically identical — however
+/// they were spelled — map to one key. Execution policy is excluded on
+/// both fronts: DpcParams::num_threads and the per-algorithm "scheduler"
+/// option (OptionsReader::Strategy) pick how loops run, not what the
+/// labels are.
+inline std::string MakeCacheKey(uint64_t dataset_fingerprint,
+                                const std::string& algorithm,
+                                const OptionsMap& options,
+                                const DpcParams& params) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%016llx|%.17g|%.17g|%.17g|%.17g|",
+                static_cast<unsigned long long>(dataset_fingerprint),
+                params.d_cut, params.rho_min, params.delta_min,
+                params.epsilon);
+  OptionsMap keyed = options;
+  keyed.erase("scheduler");
+  return buf + algorithm + '|' + CanonicalOptionsString(keyed);
+}
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// capacity is in entries; 0 disables the cache (every Lookup misses,
+  /// Insert is a no-op).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  /// The cached result for key, refreshing its recency; null on miss.
+  std::shared_ptr<const DpcResult> Lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      if (enabled()) ++stats_.misses;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // most recent first
+    ++stats_.hits;
+    return it->second->result;
+  }
+
+  /// Caches the result under key as most-recent, evicting the least
+  /// recently used entry when full. Re-inserting an existing key
+  /// refreshes its value and recency.
+  void Insert(const std::string& key,
+              std::shared_ptr<const DpcResult> result) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->result = std::move(result);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.push_front(Entry{key, std::move(result)});
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Keys from most- to least-recently used (tests assert eviction
+  /// determinism against this order).
+  std::vector<std::string> KeysByRecency() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const Entry& entry : lru_) keys.push_back(entry.key);
+    return keys;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const DpcResult> result;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace dpc::serve
+
+#endif  // DPC_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,148 @@
+// Batched admission for the serving layer. Submissions accumulate in a
+// queue; the server's dispatcher pops them in *batches*: once at least
+// one request is pending, PopBatch holds the door open for a short
+// coalescing window (unless the batch fills first), then returns up to
+// max_batch submissions ordered by (priority desc, admission seq asc).
+//
+// Why batch at all: decision-graph exploration fires bursts of near-
+// identical requests (many clients, few distinct configurations).
+// Admitting a burst together means the first execution of a
+// configuration lands in the result cache before its twins are looked
+// up, turning the rest of the burst into cache hits instead of N
+// identical recomputations.
+//
+// The queue owns each submission's response promise until the dispatcher
+// takes it; Shutdown wakes the dispatcher, which drains remaining
+// submissions (already-admitted work still runs — see ClusterServer).
+#ifndef DPC_SERVE_SCHEDULER_H_
+#define DPC_SERVE_SCHEDULER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace dpc::serve {
+
+/// One admitted request plus its bookkeeping: admission time (queue-time
+/// accounting and deadline arithmetic both start here), the absolute
+/// deadline, and the promise the server answers through.
+struct Submission {
+  ClusterRequest request;
+  std::chrono::steady_clock::time_point admitted_at;
+  /// admitted_at + request.deadline, or time_point::max() for none.
+  std::chrono::steady_clock::time_point deadline_at;
+  uint64_t seq = 0;  ///< admission order, the priority tie-break
+  std::promise<ClusterResponse> promise;
+};
+
+class AdmissionQueue {
+ public:
+  /// Stamps seq/admitted_at/deadline_at and enqueues. Returns the future
+  /// paired with the submission's promise. After Shutdown the submission
+  /// is rejected instead — the future resolves immediately with
+  /// kCancelled and *accepted reports false. The shutdown check happens
+  /// under the queue lock, so no submission can slip in behind a
+  /// dispatcher that already drained and exited.
+  std::future<ClusterResponse> Push(ClusterRequest request,
+                                    bool* accepted = nullptr) {
+    Submission s;
+    s.admitted_at = std::chrono::steady_clock::now();
+    s.deadline_at = request.deadline.count() > 0
+                        ? s.admitted_at + request.deadline
+                        : std::chrono::steady_clock::time_point::max();
+    s.request = std::move(request);
+    std::future<ClusterResponse> future = s.promise.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        if (accepted != nullptr) *accepted = false;
+        ClusterResponse response;
+        response.status = Status::Cancelled("server is shut down");
+        s.promise.set_value(std::move(response));
+        return future;
+      }
+      if (accepted != nullptr) *accepted = true;
+      s.seq = next_seq_++;
+      queue_.push_back(std::move(s));
+    }
+    cv_.notify_all();
+    return future;
+  }
+
+  /// Blocks until a submission is pending (or Shutdown), coalesces
+  /// arrivals for up to `window` (cut short when max_batch fill up), and
+  /// returns at most max_batch submissions in (priority desc, seq asc)
+  /// order. An empty vector means shutdown with nothing left to serve.
+  std::vector<Submission> PopBatch(size_t max_batch,
+                                   std::chrono::steady_clock::duration window) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return {};
+    if (window.count() > 0 && !shutdown_ && queue_.size() < max_batch) {
+      cv_.wait_for(lock, window,
+                   [&] { return shutdown_ || queue_.size() >= max_batch; });
+    }
+    // Highest priority first; FIFO within a priority level. seq is
+    // unique, so (priority desc, seq asc) is a strict total order — the
+    // batch is deterministic for a fixed arrival order, and only the
+    // taken prefix needs ordering (the backlog tail would be re-sorted
+    // on the next pop anyway).
+    const size_t take = std::min(max_batch, queue_.size());
+    std::partial_sort(queue_.begin(),
+                      queue_.begin() + static_cast<ptrdiff_t>(take),
+                      queue_.end(),
+                      [](const Submission& a, const Submission& b) {
+                        if (a.request.priority != b.request.priority) {
+                          return a.request.priority > b.request.priority;
+                        }
+                        return a.seq < b.seq;
+                      });
+    std::vector<Submission> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+
+  /// Wakes PopBatch callers; subsequent PopBatch calls still drain
+  /// whatever is queued, then return empty.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool shutdown_requested() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Submission> queue_;
+  uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dpc::serve
+
+#endif  // DPC_SERVE_SCHEDULER_H_

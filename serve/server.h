@@ -1,0 +1,253 @@
+// ClusterServer — the serving layer's engine: one dispatcher thread
+// drains the AdmissionQueue in coalesced batches and executes each
+// request over ONE shared ThreadPool, deriving a fresh-stop-state
+// ExecutionContext per request (deadline armed from the request budget).
+// Requests in a batch execute serially, each with the full pool — the
+// paper's algorithms scale with threads, so one request at full width
+// beats two at half width, and the result cache absorbs the duplicates
+// that batching exposes.
+//
+// Threading note: the dispatcher is the serve/ layer's only std::thread;
+// all clustering parallelism still comes from parallel/thread_pool.h.
+//
+// Per-request outcomes (ClusterResponse::status):
+//   OK                  labels computed (or served from cache/coalesced)
+//   kDeadlineExceeded   budget expired in the queue (never ran) or
+//                       mid-run (the ExecutionContext stopped the
+//                       algorithm between / inside phases)
+//   kNotFound           unknown dataset handle or algorithm name
+//   kInvalidArgument    bad params or per-algorithm options
+//   kCancelled          server shut down before the request was admitted
+#ifndef DPC_SERVE_SERVER_H_
+#define DPC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/registry.h"
+#include "core/status.h"
+#include "parallel/execution_context.h"
+#include "parallel/thread_pool.h"
+#include "serve/dataset_registry.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
+
+namespace dpc::serve {
+
+struct ServerOptions {
+  /// Worker threads in the shared pool (0 = all hardware threads). Every
+  /// request executes on this one pool.
+  int pool_threads = 0;
+  /// Result-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 64;
+  /// Most submissions admitted per batch.
+  size_t max_batch = 8;
+  /// How long an admitted batch holds the door open for more arrivals
+  /// (bursts coalesce so duplicates hit the cache); zero disables
+  /// coalescing.
+  std::chrono::steady_clock::duration batch_window =
+      std::chrono::milliseconds(2);
+  /// Loop scheduling for every request (per-request option maps can
+  /// still override per algorithm, e.g. scheduler=static).
+  ScheduleStrategy strategy = ScheduleStrategy::kCostGuided;
+};
+
+/// Monotonic counters, snapshotted by stats().
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;          ///< responded OK (computed or cached)
+  uint64_t cache_hits = 0;
+  uint64_t deadline_exceeded = 0;  ///< expired in queue or mid-run
+  uint64_t errors = 0;             ///< NotFound / InvalidArgument / Cancelled
+};
+
+class ClusterServer {
+ public:
+  explicit ClusterServer(ServerOptions options = {})
+      : options_(options),
+        pool_(std::make_shared<ThreadPool>(options.pool_threads)),
+        base_ctx_(pool_->size(), options.strategy, pool_),
+        cache_(options.cache_capacity),
+        dispatcher_([this] { ServeLoop(); }) {}
+
+  ClusterServer(const ClusterServer&) = delete;
+  ClusterServer& operator=(const ClusterServer&) = delete;
+
+  ~ClusterServer() { Shutdown(); }
+
+  DatasetRegistry& datasets() { return datasets_; }
+  const DatasetRegistry& datasets() const { return datasets_; }
+  ResultCache& cache() { return cache_; }
+
+  /// Validates and admits the request; the response arrives through the
+  /// returned future once the dispatcher serves it. Invalid requests and
+  /// submissions after Shutdown resolve immediately (the shutdown check
+  /// lives inside AdmissionQueue::Push, under the queue lock, so a
+  /// Submit racing Shutdown either lands in the drained-by-dispatcher
+  /// queue or is rejected — never stranded).
+  std::future<ClusterResponse> Submit(ClusterRequest request) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (const Status s = request.Validate(); !s.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return Resolved(s);
+    }
+    bool accepted = true;
+    std::future<ClusterResponse> future =
+        queue_.Push(std::move(request), &accepted);
+    if (!accepted) errors_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+
+  /// Stops admission, serves everything already queued, and joins the
+  /// dispatcher. Idempotent and safe to race (e.g. an explicit Shutdown
+  /// against the destructor); also run by the destructor.
+  void Shutdown() {
+    queue_.Shutdown();
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+
+  ServerStats stats() const {
+    ServerStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static std::future<ClusterResponse> Resolved(Status status) {
+    std::promise<ClusterResponse> promise;
+    ClusterResponse response;
+    response.status = std::move(status);
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+
+  void ServeLoop() {
+    for (;;) {
+      std::vector<Submission> batch =
+          queue_.PopBatch(options_.max_batch, options_.batch_window);
+      if (batch.empty()) return;  // shutdown, queue drained
+      // Serial execution in priority order: the first run of a
+      // configuration lands in the cache before its within-batch twins
+      // are looked up, so a coalesced burst computes once.
+      for (Submission& s : batch) Execute(s);
+    }
+  }
+
+  void Execute(Submission& s) {
+    ClusterResponse response;
+    const auto start = std::chrono::steady_clock::now();
+    response.queue_seconds =
+        std::chrono::duration<double>(start - s.admitted_at).count();
+
+    if (start >= s.deadline_at) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::DeadlineExceeded(
+          "deadline expired after " + std::to_string(response.queue_seconds) +
+          "s in queue");
+      s.promise.set_value(std::move(response));
+      return;
+    }
+
+    const std::shared_ptr<const NamedDataset> dataset =
+        datasets_.Find(s.request.dataset);
+    if (dataset == nullptr) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::NotFound("unknown dataset handle '" +
+                                         s.request.dataset + "'");
+      s.promise.set_value(std::move(response));
+      return;
+    }
+
+    // Resolve (and thereby validate) the algorithm BEFORE the cache
+    // lookup: canonicalization is type-blind ("1e1" renders like "10"),
+    // so an invalid spelling could otherwise hit a valid config's cache
+    // entry and succeed iff the cache happens to be warm.
+    StatusOr<std::unique_ptr<DpcAlgorithm>> algo =
+        MakeAlgorithmByName(s.request.algorithm, s.request.options);
+    if (!algo.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      response.status = algo.status();
+      s.promise.set_value(std::move(response));
+      return;
+    }
+
+    const std::string key =
+        MakeCacheKey(dataset->fingerprint, s.request.algorithm,
+                     s.request.options, s.request.params);
+    if (std::shared_ptr<const DpcResult> cached = cache_.Lookup(key)) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      response.result = std::move(cached);
+      response.cache_hit = true;
+      s.promise.set_value(std::move(response));
+      return;
+    }
+
+    // Per-request context: shares the pool and policy, but deadline and
+    // cancellation are this request's alone.
+    ExecutionContext ctx = base_ctx_.WithFreshStopState();
+    if (s.deadline_at != std::chrono::steady_clock::time_point::max()) {
+      ctx.set_deadline(s.deadline_at);
+    }
+    // The server owns execution policy; the deprecated per-request
+    // num_threads must not shrink the pool (see EffectiveThreads).
+    DpcParams params = s.request.params;
+    params.num_threads = 0;
+
+    const auto run_start = std::chrono::steady_clock::now();
+    DpcResult result = algo.value()->Run(dataset->points, params, ctx);
+    response.run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+
+    if (result.stats.interrupted) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::DeadlineExceeded(
+          "deadline expired after " + std::to_string(response.run_seconds) +
+          "s of execution");
+      s.promise.set_value(std::move(response));
+      return;
+    }
+
+    auto shared = std::make_shared<const DpcResult>(std::move(result));
+    cache_.Insert(key, shared);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    response.result = std::move(shared);
+    s.promise.set_value(std::move(response));
+  }
+
+  const ServerOptions options_;
+  std::shared_ptr<ThreadPool> pool_;
+  ExecutionContext base_ctx_;
+  DatasetRegistry datasets_;
+  ResultCache cache_;
+  AdmissionQueue queue_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> errors_{0};
+
+  std::mutex join_mu_;      ///< serializes racing Shutdown calls
+  std::thread dispatcher_;  // last member: starts after everything it uses
+};
+
+}  // namespace dpc::serve
+
+#endif  // DPC_SERVE_SERVER_H_

@@ -56,6 +56,63 @@ void TestIoRoundTrip() {
   std::remove(bin.c_str());
 }
 
+// A leading header (or preamble) row is skipped; dimensionality is
+// inferred from the first data row; later non-numeric rows still fail.
+void TestCsvHeader() {
+  const std::string path = "io_eval_header_test.csv";
+
+  auto write = [&](const char* contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    CHECK(f != nullptr);
+    std::fputs(contents, f);
+    std::fclose(f);
+  };
+
+  write("x,y\n1,2\n3,4\n");
+  auto with_header = dpc::data::LoadCsv(path);
+  CHECK(with_header.ok());
+  CHECK_EQ(with_header.value().size(), 2);
+  CHECK_EQ(with_header.value().dim(), 2);
+  CHECK_EQ(with_header.value().Coord(0, 0), 1.0);
+  CHECK_EQ(with_header.value().Coord(1, 1), 4.0);
+
+  // Headerless files load identically (the header skip must not consume
+  // a data row).
+  write("1,2\n3,4\n");
+  auto headerless = dpc::data::LoadCsv(path);
+  CHECK(headerless.ok());
+  CHECK(headerless.value().raw() == with_header.value().raw());
+
+  // Column names with numeric prefixes (strtod half-eats "nan..." and
+  // "2d...") are still recognized as a header.
+  write("nanoseconds,count\n1,2\n3,4\n");
+  auto nan_header = dpc::data::LoadCsv(path);
+  CHECK(nan_header.ok());
+  CHECK(nan_header.value().raw() == with_header.value().raw());
+  write("2d_x,2d_y\n1,2\n3,4\n");
+  CHECK(dpc::data::LoadCsv(path).ok());
+
+  // A header alone has no points; garbage after data is still an error,
+  // and so are non-finite coordinates.
+  write("x,y\n");
+  CHECK(!dpc::data::LoadCsv(path).ok());
+  write("1,2\nnot,numbers\n");
+  CHECK(!dpc::data::LoadCsv(path).ok());
+  write("1,2\nnan,4\n");
+  CHECK(!dpc::data::LoadCsv(path).ok());
+  write("1,2\ninf,4\n");
+  CHECK(!dpc::data::LoadCsv(path).ok());
+
+  // Only ONE leading row may be skipped: a second unparsable row is an
+  // error, never silent data loss.
+  write("x,y\nalso,bad\n1,2\n");
+  CHECK(!dpc::data::LoadCsv(path).ok());
+  write("1x,2\nnot,num\n1,2\n");
+  CHECK(!dpc::data::LoadCsv(path).ok());
+
+  std::remove(path.c_str());
+}
+
 void TestMetrics() {
   const std::vector<int64_t> a = {0, 0, 0, 1, 1, 1, 2, 2, -1};
   // Identical partitions (under relabeling) score 1.0 on both metrics.
@@ -91,6 +148,7 @@ void TestMetrics() {
 
 int main() {
   TestIoRoundTrip();
+  TestCsvHeader();
   TestMetrics();
   std::printf("io_eval_test OK\n");
   return 0;

@@ -112,6 +112,61 @@ int main() {
     CHECK(!fresh.ShouldStop());
   }
 
+  // Mid-loop cancellation (amortized ShouldStop polling): a cancel fired
+  // from inside the loop stops both loop shapes well before full
+  // coverage, under every strategy and even on the serial path.
+  {
+    auto pool = std::make_shared<dpc::ThreadPool>(2);
+    const int64_t n = int64_t{1} << 20;
+    for (const auto strategy :
+         {dpc::ScheduleStrategy::kStatic, dpc::ScheduleStrategy::kDynamic,
+          dpc::ScheduleStrategy::kCostGuided}) {
+      for (const int threads : {1, 2}) {
+        const dpc::ExecutionContext ctx(threads, strategy, pool);
+        std::atomic<int64_t> visited{0};
+        dpc::ParallelFor(ctx, n, [&](int64_t begin, int64_t end) {
+          visited.fetch_add(end - begin);
+          ctx.RequestCancel();
+        });
+        CHECK(visited.load() > 0);
+        CHECK(visited.load() < n / 2);  // stopped mid-phase, not at the end
+
+        // The cancel is confined to ctx's stop state: a fresh-stop-state
+        // sibling still covers every item.
+        std::vector<double> costs(8192, 1.0);
+        std::atomic<int64_t> items{0};
+        dpc::ParallelForWithCosts(ctx.WithFreshStopState(), costs,
+                                  [&](int64_t) { items.fetch_add(1); });
+        CHECK_EQ(items.load(), static_cast<int64_t>(costs.size()));
+      }
+    }
+    // ParallelForWithCosts stops between items once the context says so.
+    const dpc::ExecutionContext ctx(2, dpc::ScheduleStrategy::kDynamic, pool);
+    std::vector<double> costs(8192, 1.0);
+    std::atomic<int64_t> items{0};
+    dpc::ParallelForWithCosts(ctx, costs, [&](int64_t) {
+      items.fetch_add(1);
+      ctx.RequestCancel();
+    });
+    CHECK(items.load() > 0);
+    CHECK(items.load() < static_cast<int64_t>(costs.size()));
+  }
+
+  // WithFreshStopState: derived per-request contexts share the pool but
+  // not the stop state, in both directions.
+  {
+    const dpc::ExecutionContext base(2);
+    const dpc::ExecutionContext derived = base.WithFreshStopState();
+    CHECK(base.shared_pool().get() == derived.shared_pool().get());
+    derived.RequestCancel();
+    CHECK(derived.ShouldStop());
+    CHECK(!base.ShouldStop());
+    const dpc::ExecutionContext derived2 = base.WithFreshStopState();
+    base.RequestCancel();
+    CHECK(base.ShouldStop());
+    CHECK(!derived2.ShouldStop());
+  }
+
   // A cancelled run stops at the first phase boundary: interrupted stats,
   // every label kUnassigned, no centers.
   {

@@ -1,0 +1,406 @@
+// The serve/ subsystem: dataset fingerprint stability, result-cache
+// hit/miss + deterministic LRU eviction, cache-key canonicalization,
+// admission-queue priority order, end-to-end serving (responses
+// bit-identical to direct Run), mixed-deadline batches, error paths, and
+// concurrent submissions (the TSan CI job runs this binary).
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/generators.h"
+#include "serve/dataset_registry.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "tests/test_util.h"
+
+namespace {
+
+dpc::PointSet TestPoints(uint64_t seed = 11, dpc::PointId n = 600) {
+  dpc::data::GaussianBenchmarkParams gen;
+  gen.num_points = n;
+  gen.num_clusters = 3;
+  gen.seed = seed;
+  return dpc::data::GaussianBenchmark(gen);
+}
+
+dpc::DpcParams TestParams(double d_cut = 2000.0) {
+  dpc::DpcParams params;
+  params.d_cut = d_cut;
+  params.rho_min = 2.0;
+  params.delta_min = 4.0 * d_cut;
+  return params;
+}
+
+void TestFingerprintAndRegistry() {
+  const dpc::PointSet points = TestPoints();
+
+  // Content-determined: same bytes -> same fingerprint, including via a
+  // copy registered under another name; any coordinate change diverges.
+  const uint64_t fp = dpc::serve::FingerprintPoints(points);
+  CHECK_EQ(dpc::serve::FingerprintPoints(points), fp);
+  dpc::PointSet perturbed = points;
+  perturbed.MutablePoint(0)[0] += 1.0;
+  CHECK(dpc::serve::FingerprintPoints(perturbed) != fp);
+  // Same coordinate multiset, different order -> different content.
+  dpc::PointSet swapped(points.dim());
+  swapped.Add(points[1]);
+  swapped.Add(points[0]);
+  dpc::PointSet forward(points.dim());
+  forward.Add(points[0]);
+  forward.Add(points[1]);
+  CHECK(dpc::serve::FingerprintPoints(swapped) !=
+        dpc::serve::FingerprintPoints(forward));
+
+  dpc::serve::DatasetRegistry registry;
+  CHECK_EQ(registry.Register("a", points), fp);
+  CHECK_EQ(registry.Register("b", points), fp);  // alias, same content
+  CHECK_EQ(registry.size(), 2u);
+
+  const auto found = registry.Find("a");
+  CHECK(found != nullptr);
+  CHECK_EQ(found->fingerprint, fp);
+  CHECK_EQ(found->points.size(), points.size());
+  CHECK(registry.Find("nope") == nullptr);
+
+  // A replaced handle leaves earlier holders' entry alive and intact.
+  CHECK(registry.Register("a", perturbed) != fp);
+  CHECK_EQ(found->fingerprint, fp);
+  CHECK(registry.Find("a")->fingerprint != fp);
+
+  CHECK(registry.Unregister("b"));
+  CHECK(!registry.Unregister("b"));
+  CHECK_EQ(registry.size(), 1u);
+}
+
+void TestResultCache() {
+  auto result_with_clusters = [](int64_t k) {
+    auto r = std::make_shared<dpc::DpcResult>();
+    r->centers.assign(static_cast<size_t>(k), dpc::PointId{0});
+    return std::shared_ptr<const dpc::DpcResult>(std::move(r));
+  };
+
+  dpc::serve::ResultCache cache(2);
+  CHECK(cache.enabled());
+  CHECK(cache.Lookup("a") == nullptr);
+  cache.Insert("a", result_with_clusters(1));
+  cache.Insert("b", result_with_clusters(2));
+  CHECK_EQ(cache.size(), 2u);
+
+  // Touching "a" makes "b" the LRU victim of the next insert —
+  // deterministic eviction order.
+  CHECK(cache.Lookup("a") != nullptr);
+  cache.Insert("c", result_with_clusters(3));
+  CHECK(cache.Lookup("b") == nullptr);
+  CHECK_EQ(cache.Lookup("a")->num_clusters(), 1);
+  CHECK_EQ(cache.Lookup("c")->num_clusters(), 3);
+  CHECK(cache.KeysByRecency() == (std::vector<std::string>{"c", "a"}));
+
+  // Re-insert refreshes value and recency without growing.
+  cache.Insert("a", result_with_clusters(4));
+  CHECK_EQ(cache.size(), 2u);
+  CHECK_EQ(cache.Lookup("a")->num_clusters(), 4);
+
+  const auto stats = cache.stats();
+  CHECK_EQ(stats.evictions, 1u);
+  CHECK_EQ(stats.misses, 2u);  // initial "a", evicted "b"
+
+  // Capacity 0 disables caching entirely.
+  dpc::serve::ResultCache off(0);
+  CHECK(!off.enabled());
+  off.Insert("a", result_with_clusters(1));
+  CHECK(off.Lookup("a") == nullptr);
+  CHECK_EQ(off.size(), 0u);
+}
+
+void TestCacheKey() {
+  const dpc::DpcParams params = TestParams();
+  // Differently spelled but semantically identical options -> one key.
+  dpc::OptionsMap spelled_a{{"num_tables", "08"}, {"bucket_width_factor", "0.50"}};
+  dpc::OptionsMap spelled_b{{"bucket_width_factor", "5e-1"}, {"num_tables", "8"}};
+  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, params) ==
+        dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_b, params));
+
+  // Every key component discriminates.
+  const std::string base =
+      dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, params);
+  CHECK(dpc::serve::MakeCacheKey(2, "lsh-ddp", spelled_a, params) != base);
+  CHECK(dpc::serve::MakeCacheKey(1, "ex-dpc", spelled_a, params) != base);
+  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", {}, params) != base);
+  dpc::DpcParams other = params;
+  other.d_cut *= 2.0;
+  other.delta_min *= 2.0;
+  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, other) != base);
+
+  // Execution policy is NOT part of the key (labels are thread-count and
+  // strategy independent by the determinism contract): neither the
+  // deprecated num_threads nor the "scheduler" option discriminates.
+  dpc::DpcParams threaded = params;
+  threaded.num_threads = 7;
+  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, threaded) == base);
+  dpc::OptionsMap with_scheduler = spelled_a;
+  with_scheduler["scheduler"] = "static";
+  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", with_scheduler, params) == base);
+  with_scheduler["scheduler"] = "lpt";
+  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", with_scheduler, params) == base);
+}
+
+void TestAdmissionQueuePriority() {
+  dpc::serve::AdmissionQueue queue;
+  auto push = [&](int priority) {
+    dpc::serve::ClusterRequest request;
+    request.dataset = "d";
+    request.priority = priority;
+    return queue.Push(std::move(request));
+  };
+  // Futures must outlive the queue pop (promises travel with the
+  // submissions).
+  std::vector<std::future<dpc::serve::ClusterResponse>> futures;
+  futures.push_back(push(0));
+  futures.push_back(push(5));
+  futures.push_back(push(1));
+  futures.push_back(push(5));
+
+  auto batch = queue.PopBatch(3, std::chrono::milliseconds(0));
+  CHECK_EQ(batch.size(), 3u);
+  // (priority desc, admission order asc): the two 5s in arrival order,
+  // then the 1.
+  CHECK_EQ(batch[0].request.priority, 5);
+  CHECK_EQ(batch[0].seq, 1u);
+  CHECK_EQ(batch[1].request.priority, 5);
+  CHECK_EQ(batch[1].seq, 3u);
+  CHECK_EQ(batch[2].request.priority, 1);
+  CHECK_EQ(queue.pending(), 1u);
+
+  queue.Shutdown();
+  auto rest = queue.PopBatch(3, std::chrono::milliseconds(0));
+  CHECK_EQ(rest.size(), 1u);
+  CHECK_EQ(rest[0].request.priority, 0);
+  CHECK(queue.PopBatch(3, std::chrono::milliseconds(0)).empty());
+}
+
+void TestServerEndToEnd() {
+  const dpc::PointSet points = TestPoints();
+  const dpc::DpcParams params = TestParams();
+
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.cache_capacity = 1;  // tiny, to also exercise server-level eviction
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  dpc::serve::ClusterRequest request;
+  request.dataset = "pts";
+  request.algorithm = "ex-dpc";
+  request.params = params;
+
+  // Miss -> computed; identical resubmission -> cache hit aliasing the
+  // same immutable result; both bit-identical to a direct Run.
+  const auto first = server.Submit(request).get();
+  CHECK(first.status.ok());
+  CHECK(!first.cache_hit);
+  const auto second = server.Submit(request).get();
+  CHECK(second.status.ok());
+  CHECK(second.cache_hit);
+  CHECK(second.result.get() == first.result.get());
+  CHECK_EQ(second.run_seconds, 0.0);
+
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  CHECK(algo.ok());
+  const dpc::DpcResult direct = algo.value()->Run(points, params);
+  CHECK(first.result->label == direct.label);
+  CHECK(first.result->centers == direct.centers);
+  CHECK(first.result->dependency == direct.dependency);
+
+  // A different configuration evicts the capacity-1 cache; the original
+  // then recomputes (deterministically the same labels).
+  dpc::serve::ClusterRequest other = request;
+  other.params.d_cut *= 1.5;
+  other.params.delta_min *= 1.5;
+  CHECK(!server.Submit(other).get().cache_hit);
+  const auto recomputed = server.Submit(request).get();
+  CHECK(recomputed.status.ok());
+  CHECK(!recomputed.cache_hit);
+  CHECK(recomputed.result->label == direct.label);
+
+  // The deprecated per-request thread knob must not change the outcome
+  // (the server owns execution policy) — and must hit the same cache key.
+  dpc::serve::ClusterRequest threaded = request;
+  threaded.params.num_threads = 1;
+  CHECK(server.Submit(threaded).get().cache_hit);
+
+  const auto stats = server.stats();
+  CHECK_EQ(stats.submitted, 5u);
+  CHECK_EQ(stats.completed, 5u);
+  CHECK_EQ(stats.cache_hits, 2u);
+  CHECK_EQ(stats.errors, 0u);
+}
+
+void TestMixedDeadlineBatch() {
+  const dpc::PointSet points = TestPoints();
+
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.cache_capacity = 0;  // force both survivors to really run
+  options.batch_window = std::chrono::milliseconds(20);
+  options.max_batch = 8;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  // One request whose budget (1ns) cannot survive even admission, two
+  // healthy ones — submitted back-to-back so the window batches them.
+  dpc::serve::ClusterRequest doomed;
+  doomed.dataset = "pts";
+  doomed.algorithm = "ex-dpc";
+  doomed.params = TestParams();
+  doomed.deadline = std::chrono::nanoseconds(1);
+  dpc::serve::ClusterRequest healthy1 = doomed;
+  healthy1.deadline = {};
+  dpc::serve::ClusterRequest healthy2 = healthy1;
+  healthy2.params = TestParams(3000.0);
+
+  auto f_doomed = server.Submit(doomed);
+  auto f1 = server.Submit(healthy1);
+  auto f2 = server.Submit(healthy2);
+
+  const auto r_doomed = f_doomed.get();
+  CHECK(r_doomed.status.code() == dpc::StatusCode::kDeadlineExceeded);
+  CHECK(r_doomed.result == nullptr);
+
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  const auto r1 = f1.get();
+  CHECK(r1.status.ok());
+  CHECK(r1.result->label == algo.value()->Run(points, healthy1.params).label);
+  const auto r2 = f2.get();
+  CHECK(r2.status.ok());
+  CHECK(r2.result->label == algo.value()->Run(points, healthy2.params).label);
+
+  CHECK_EQ(server.stats().deadline_exceeded, 1u);
+}
+
+void TestErrorPaths() {
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", TestPoints());
+
+  dpc::serve::ClusterRequest request;
+  request.dataset = "pts";
+  request.algorithm = "ex-dpc";
+  request.params = TestParams();
+
+  // Validation failures resolve immediately.
+  dpc::serve::ClusterRequest no_dataset = request;
+  no_dataset.dataset.clear();
+  CHECK(server.Submit(no_dataset).get().status.code() ==
+        dpc::StatusCode::kInvalidArgument);
+  dpc::serve::ClusterRequest bad_params = request;
+  bad_params.params.d_cut = -1.0;
+  CHECK(server.Submit(bad_params).get().status.code() ==
+        dpc::StatusCode::kInvalidArgument);
+
+  // Execution-time failures come back through the future.
+  dpc::serve::ClusterRequest unknown_dataset = request;
+  unknown_dataset.dataset = "nope";
+  CHECK(server.Submit(unknown_dataset).get().status.code() ==
+        dpc::StatusCode::kNotFound);
+  dpc::serve::ClusterRequest unknown_algo = request;
+  unknown_algo.algorithm = "nope";
+  CHECK(server.Submit(unknown_algo).get().status.code() ==
+        dpc::StatusCode::kNotFound);
+  dpc::serve::ClusterRequest bad_option = request;
+  bad_option.options["no_such_knob"] = "1";
+  CHECK(server.Submit(bad_option).get().status.code() ==
+        dpc::StatusCode::kInvalidArgument);
+
+  // Options validate before the cache is consulted: a spelling the
+  // reader rejects ("1e1" for an int) must fail even when a valid
+  // spelling of the same canonical config already warmed the cache.
+  dpc::serve::ClusterRequest lsh = request;
+  lsh.algorithm = "lsh-ddp";
+  lsh.options["num_tables"] = "10";
+  CHECK(server.Submit(lsh).get().status.ok());
+  dpc::serve::ClusterRequest lsh_bad = lsh;
+  lsh_bad.options["num_tables"] = "1e1";
+  CHECK(server.Submit(lsh_bad).get().status.code() ==
+        dpc::StatusCode::kInvalidArgument);
+
+  // Requests already admitted still complete across Shutdown; later
+  // submissions are rejected as cancelled.
+  auto inflight = server.Submit(request);
+  server.Shutdown();
+  CHECK(inflight.get().status.ok());
+  CHECK(server.Submit(request).get().status.code() ==
+        dpc::StatusCode::kCancelled);
+}
+
+void TestConcurrentSubmissions() {
+  const dpc::PointSet points = TestPoints(13, 800);
+
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.cache_capacity = 8;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  // Expected labels per config, computed directly.
+  const std::vector<dpc::DpcParams> configs = {TestParams(2000.0),
+                                               TestParams(2500.0)};
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  std::vector<std::vector<int64_t>> expected;
+  for (const auto& params : configs) {
+    expected.push_back(algo.value()->Run(points, params).label);
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kPerClient; ++q) {
+        const size_t which = static_cast<size_t>((c + q) % 2);
+        dpc::serve::ClusterRequest request;
+        request.dataset = "pts";
+        request.algorithm = "ex-dpc";
+        request.params = configs[which];
+        const auto response = server.Submit(std::move(request)).get();
+        if (!response.status.ok() ||
+            response.result->label != expected[which]) {
+          ++failures[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const int f : failures) CHECK_EQ(f, 0);
+
+  const auto stats = server.stats();
+  CHECK_EQ(stats.submitted, static_cast<uint64_t>(kClients * kPerClient));
+  CHECK_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
+  // 2 distinct configurations -> at most 2 real computations... unless a
+  // burst races past the first insert; either way hits dominate.
+  CHECK(stats.cache_hits >= static_cast<uint64_t>(kClients * kPerClient - 2));
+  CHECK_EQ(stats.errors, 0u);
+}
+
+}  // namespace
+
+int main() {
+  TestFingerprintAndRegistry();
+  TestResultCache();
+  TestCacheKey();
+  TestAdmissionQueuePriority();
+  TestServerEndToEnd();
+  TestMixedDeadlineBatch();
+  TestErrorPaths();
+  TestConcurrentSubmissions();
+  std::printf("serve_test OK\n");
+  return 0;
+}
