@@ -14,6 +14,7 @@
 #ifndef DPC_BASELINES_CFSFDP_A_H_
 #define DPC_BASELINES_CFSFDP_A_H_
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -54,15 +55,15 @@ class CfsfdpA : public DpcAlgorithm {
   CfsfdpA() = default;
   explicit CfsfdpA(CfsfdpAOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "CFSFDP-A"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
@@ -86,13 +87,23 @@ class CfsfdpA : public DpcAlgorithm {
     result.stats.index_memory_bytes = sample.capacity() * sizeof(PointId);
 
     // rho: scaled count of sampled neighbors (self excluded when sampled).
-    const double r_sq = params.d_cut * params.d_cut;
+    // The inner scan is quadratic-family work (O(|sample|) per index), so
+    // it polls ShouldStop every ~kDistanceEvalsPerPoll evaluations like
+    // the Scan loops — see baselines/scan_dpc.h.
+    const double r_sq = compute.d_cut * compute.d_cut;
+    const PointId m = static_cast<PointId>(sample.size());
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         PointId count = 0;
-        for (const PointId j : sample) {
-          if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
-            ++count;
+        for (PointId k0 = 0; k0 < m; k0 += internal::kDistanceEvalsPerPoll) {
+          if (exec.ShouldStop()) return;
+          const PointId k_end =
+              std::min(k0 + internal::kDistanceEvalsPerPoll, m);
+          for (PointId k = k0; k < k_end; ++k) {
+            const PointId j = sample[static_cast<size_t>(k)];
+            if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
+              ++count;
+            }
           }
         }
         result.rho[static_cast<size_t>(i)] =
@@ -108,13 +119,7 @@ class CfsfdpA : public DpcAlgorithm {
     internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
                               &result.dependency);
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }

@@ -64,15 +64,15 @@ class LshDdp : public DpcAlgorithm {
   LshDdp() = default;
   explicit LshDdp(LshDdpOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "LSH-DDP"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
@@ -85,7 +85,7 @@ class LshDdp : public DpcAlgorithm {
     LshParams lsh_params;
     lsh_params.num_tables = options_.num_tables;
     lsh_params.num_projections = options_.num_bits;
-    lsh_params.bucket_width = options_.bucket_width_factor * params.d_cut;
+    lsh_params.bucket_width = options_.bucket_width_factor * compute.d_cut;
     const LshPartitioner lsh(points, lsh_params);
     KdTree tree(points);  // refinement index for local density maxima
     result.stats.build_seconds = phase.Lap();
@@ -98,7 +98,7 @@ class LshDdp : public DpcAlgorithm {
     // ParallelForStaticChunks (exactly one callback per thread chunk) and
     // polls the stop state itself instead of relying on ParallelFor's
     // sub-slice polling.
-    const double r_sq = params.d_cut * params.d_cut;
+    const double r_sq = compute.d_cut * compute.d_cut;
     ParallelForStaticChunks(exec, n, [&](PointId begin, PointId end) {
       std::vector<PointId> last_query(static_cast<size_t>(n), PointId{-1});
       int64_t until_poll = internal::kStopCheckStride;
@@ -159,13 +159,7 @@ class LshDdp : public DpcAlgorithm {
     ExDpc::ComputeExactDeltas(points, tree, result.rho, exec, &result.delta,
                               &result.dependency, &refine);
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }

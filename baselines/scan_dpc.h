@@ -13,9 +13,16 @@
 // disjoint writes, so results are thread-count and strategy independent.
 // Per-point work is uniform here (every point scans everything), so
 // there is no cost model: cost-guided scheduling falls back to dynamic.
+//
+// Cancellation: with O(n) work per index, ParallelFor's 1024-index
+// sub-slice polling would overshoot a deadline by up to 1024*n distance
+// evaluations, so the quadratic loops poll ShouldStop INSIDE the inner
+// distance scan, amortized every ~kDistanceEvalsPerPoll evaluations
+// (blocked inner loops — no per-evaluation branch on the hot path).
 #ifndef DPC_BASELINES_SCAN_DPC_H_
 #define DPC_BASELINES_SCAN_DPC_H_
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -42,9 +49,18 @@ struct ScanDpcOptions {
 
 namespace internal {
 
+/// Distance evaluations between ShouldStop polls inside the quadratic
+/// inner loops. Cheap enough to vanish against the distance arithmetic,
+/// small enough that a cancelled quadratic run frees its pool threads
+/// within microseconds instead of one whole 1024-index outer slice.
+inline constexpr int64_t kDistanceEvalsPerPoll = 4096;
+
 /// The quadratic dependent-point pass shared by the scan family: for each
 /// point, scan ALL points ranking denser (DenserThan) and keep the
 /// closest. The globally densest point keeps delta = +inf, dependency -1.
+/// The inner scan runs in kDistanceEvalsPerPoll blocks with a stop poll
+/// between blocks; a stopped call leaves the remaining slots untouched
+/// (the caller discards the phase via internal::Interrupted).
 inline void QuadraticDeltas(const PointSet& points, const std::vector<double>& rho,
                             const ExecutionContext& exec,
                             std::vector<double>* delta,
@@ -56,12 +72,16 @@ inline void QuadraticDeltas(const PointSet& points, const std::vector<double>& r
       const double rho_i = rho[static_cast<size_t>(i)];
       double best_sq = std::numeric_limits<double>::infinity();
       PointId best = -1;
-      for (PointId j = 0; j < n; ++j) {
-        if (!DenserThan(rho[static_cast<size_t>(j)], j, rho_i, i)) continue;
-        const double d_sq = SquaredDistance(points[i], points[j], dim);
-        if (d_sq < best_sq) {
-          best_sq = d_sq;
-          best = j;
+      for (PointId j0 = 0; j0 < n; j0 += kDistanceEvalsPerPoll) {
+        if (exec.ShouldStop()) return;
+        const PointId j_end = std::min(j0 + kDistanceEvalsPerPoll, n);
+        for (PointId j = j0; j < j_end; ++j) {
+          if (!DenserThan(rho[static_cast<size_t>(j)], j, rho_i, i)) continue;
+          const double d_sq = SquaredDistance(points[i], points[j], dim);
+          if (d_sq < best_sq) {
+            best_sq = d_sq;
+            best = j;
+          }
         }
       }
       (*delta)[static_cast<size_t>(i)] =
@@ -78,15 +98,15 @@ class ScanDpc : public DpcAlgorithm {
   ScanDpc() = default;
   explicit ScanDpc(ScanDpcOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "Scan"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
@@ -98,13 +118,18 @@ class ScanDpc : public DpcAlgorithm {
     internal::WallTimer phase;
     result.stats.build_seconds = phase.Lap();  // no index
 
-    const double r_sq = params.d_cut * params.d_cut;
+    const double r_sq = compute.d_cut * compute.d_cut;
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         PointId count = 0;
-        for (PointId j = 0; j < n; ++j) {
-          if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
-            ++count;
+        for (PointId j0 = 0; j0 < n; j0 += internal::kDistanceEvalsPerPoll) {
+          if (exec.ShouldStop()) return;
+          const PointId j_end =
+              std::min(j0 + internal::kDistanceEvalsPerPoll, n);
+          for (PointId j = j0; j < j_end; ++j) {
+            if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
+              ++count;
+            }
           }
         }
         result.rho[static_cast<size_t>(i)] = static_cast<double>(count);
@@ -119,13 +144,7 @@ class ScanDpc : public DpcAlgorithm {
     internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
                               &result.dependency);
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }
@@ -139,15 +158,15 @@ class RtreeScanDpc : public DpcAlgorithm {
   RtreeScanDpc() = default;
   explicit RtreeScanDpc(ScanDpcOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "R-tree + Scan"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     result.rho.assign(static_cast<size_t>(n), 0.0);
     result.delta.assign(static_cast<size_t>(n),
@@ -163,7 +182,7 @@ class RtreeScanDpc : public DpcAlgorithm {
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         result.rho[static_cast<size_t>(i)] = static_cast<double>(
-            tree.RangeCount(points[i], params.d_cut) - 1);
+            tree.RangeCount(points[i], compute.d_cut) - 1);
       }
     });
     result.stats.rho_seconds = phase.Lap();
@@ -175,13 +194,7 @@ class RtreeScanDpc : public DpcAlgorithm {
     internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
                               &result.dependency);
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }

@@ -74,7 +74,6 @@ class ApproxDpc : public DpcAlgorithm {
   ApproxDpc() = default;
   explicit ApproxDpc(ApproxDpcOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "Approx-DPC"; }
 
   /// The Equation (2) analog of our cost model for the density-ordered
@@ -91,12 +90,13 @@ class ApproxDpc : public DpcAlgorithm {
     return std::clamp<int>(s, 1, static_cast<int>(std::min<PointId>(n, 256)));
   }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
@@ -113,7 +113,7 @@ class ApproxDpc : public DpcAlgorithm {
     // d_cut (index/grid.h — shared with S-Approx-DPC); its per-cell
     // population doubles as the §4.5 scheduling cost model.
     const UniformGrid grid(points,
-                           params.d_cut / std::sqrt(static_cast<double>(dim)));
+                           compute.d_cut / std::sqrt(static_cast<double>(dim)));
     const std::vector<double> cell_costs = grid.CellCosts();
     result.stats.build_seconds = phase.Lap();
     result.stats.index_memory_bytes = tree.MemoryBytes() + grid.MemoryBytes();
@@ -140,7 +140,7 @@ class ApproxDpc : public DpcAlgorithm {
             hi[d] = std::max(hi[d], points[i][d]);
           }
         }
-        tree.JointRangeCount(lo, hi, members, params.d_cut, &counts);
+        tree.JointRangeCount(lo, hi, members, compute.d_cut, &counts);
         for (size_t k = 0; k < members.size(); ++k) {
           result.rho[static_cast<size_t>(members[k])] =
               static_cast<double>(counts[k] - 1);  // self excluded
@@ -150,7 +150,7 @@ class ApproxDpc : public DpcAlgorithm {
       ParallelForWithCosts(exec, cell_costs, [&](int64_t cell) {
         for (const PointId i : grid.members(cell)) {
           result.rho[static_cast<size_t>(i)] = static_cast<double>(
-              tree.RangeCount(points[i], params.d_cut) - 1);
+              tree.RangeCount(points[i], compute.d_cut) - 1);
         }
       });
     }
@@ -186,17 +186,12 @@ class ApproxDpc : public DpcAlgorithm {
     ComputePeakDeltasBySubsets(points, result.rho, peaks, num_subsets, exec,
                                &result.delta, &result.dependency);
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }
 
+ public:
   /// The paper's dependent-point strategy for cell peaks: points are
   /// sorted into `num_subsets` density-ordered subsets, a kd-tree is
   /// bulk-loaded per subset, and each peak queries subsets densest-first.

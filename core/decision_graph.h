@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <limits>
 #include <string>
@@ -56,6 +57,50 @@ inline Status WriteDecisionGraphCsv(const std::vector<DecisionGraphEntry>& graph
   }
   if (std::fclose(f) != 0) return Status::IoError("error closing " + path);
   return Status::Ok();
+}
+
+/// One point of the gamma ranking: gamma = rho * delta is the classic
+/// single-number center score over the decision graph (large in both
+/// coordinates = a strong center candidate).
+struct GammaEntry {
+  PointId id = -1;
+  double rho = 0.0;
+  double delta = 0.0;
+  double gamma = 0.0;
+};
+
+/// The k highest-gamma points of a decision graph, computed straight from
+/// rho/delta — labels are never needed, so this runs against a
+/// DpcSolution as-is (the serving layer's `graph` request). Infinite
+/// deltas (the global peak) are capped just above the largest finite
+/// delta so gamma stays finite and zero-density peaks cannot produce
+/// NaN. Deterministic order: gamma desc, then id asc.
+inline std::vector<GammaEntry> TopGammaPoints(const std::vector<double>& rho,
+                                              const std::vector<double>& delta,
+                                              int k) {
+  double max_finite = 0.0;
+  for (const double d : delta) {
+    if (!std::isinf(d) && d > max_finite) max_finite = d;
+  }
+  const double cap = max_finite > 0.0 ? max_finite * 1.05 : 1.0;
+  std::vector<GammaEntry> entries;
+  entries.reserve(rho.size());
+  for (size_t i = 0; i < rho.size(); ++i) {
+    GammaEntry e;
+    e.id = static_cast<PointId>(i);
+    e.rho = rho[i];
+    e.delta = delta[i];
+    e.gamma = rho[i] * (std::isinf(delta[i]) ? cap : delta[i]);
+    entries.push_back(e);
+  }
+  const size_t take = std::min(entries.size(), static_cast<size_t>(k > 0 ? k : 0));
+  std::partial_sort(entries.begin(), entries.begin() + static_cast<ptrdiff_t>(take),
+                    entries.end(), [](const GammaEntry& a, const GammaEntry& b) {
+                      if (a.gamma != b.gamma) return a.gamma > b.gamma;
+                      return a.id < b.id;
+                    });
+  entries.resize(take);
+  return entries;
 }
 
 namespace internal {

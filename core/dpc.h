@@ -10,6 +10,22 @@
 // every other non-noise point joins the cluster of its dependent point
 // (its nearest denser neighbor). Points with rho < rho_min are noise.
 //
+// The pipeline splits into two phases with wildly different costs, and
+// the split is first-class in the API:
+//
+//   compute   — rho/delta/dependency. Depends only on ComputeParams
+//               (d_cut, epsilon) and dominates the runtime: this is what
+//               the paper parallelizes. An algorithm's canonical output
+//               is a DpcSolution, the reusable artifact of this phase.
+//   threshold — center selection + label propagation from a
+//               ThresholdSpec (rho_min, delta_min). A pure O(n) pass
+//               over a solution (LabelSolution / FinalizeSolution), so
+//               decision-graph exploration — many thresholds against one
+//               compute — never re-runs the expensive phase.
+//
+// The legacy Run(points, DpcParams) -> DpcResult entry point remains as
+// a shim composing the two.
+//
 // Ties in rho are broken by point id (smaller id counts as denser), which
 // makes every phase — and therefore every label — deterministic for a
 // fixed input, independent of thread count.
@@ -22,9 +38,11 @@
 #include <cstdint>
 #include <limits>
 #include <numeric>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "parallel/execution_context.h"
@@ -90,6 +108,19 @@ class PointSet {
   std::vector<double> coords_;
 };
 
+/// Content hash of a point set: two sets fingerprint equal iff they hold
+/// the same coordinates in the same order at the same dimensionality.
+/// Identifies the input a DpcSolution was computed from — and keys the
+/// serving layer's caches — without retaining the points themselves.
+inline uint64_t FingerprintPoints(const PointSet& points) {
+  const int32_t dim = points.dim();
+  const int64_t n = points.size();
+  uint64_t h = Fnv1aBytes(&dim, sizeof(dim));
+  h = Fnv1aBytes(&n, sizeof(n), h);
+  return Fnv1aBytes(points.raw().data(), points.raw().size() * sizeof(double),
+                    h);
+}
+
 inline double SquaredDistance(const double* a, const double* b, int dim) {
   double s = 0.0;
   for (int d = 0; d < dim; ++d) {
@@ -103,7 +134,53 @@ inline double Distance(const double* a, const double* b, int dim) {
   return std::sqrt(SquaredDistance(a, b, dim));
 }
 
-/// User-facing knobs, shared by every algorithm.
+/// Knobs of the expensive compute phase. Everything rho/delta/dependency
+/// depend on (besides the points and the per-algorithm options) lives
+/// here; two runs sharing ComputeParams share their DpcSolution.
+struct ComputeParams {
+  double d_cut = 0.0;    ///< density ball radius (> 0)
+  double epsilon = 1.0;  ///< S-Approx-DPC approximation knob (ignored elsewhere)
+
+  Status Validate() const {
+    if (!(d_cut > 0.0)) {
+      return Status::InvalidArgument("d_cut must be positive");
+    }
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    return Status::Ok();
+  }
+};
+
+/// Knobs of the cheap threshold phase: how labels are derived from a
+/// DpcSolution's decision graph. Changing these never requires recompute.
+struct ThresholdSpec {
+  double rho_min = 0.0;    ///< points below this density are noise
+  double delta_min = 0.0;  ///< center threshold on the decision graph (> d_cut)
+  /// Also derive the cluster core/halo split downstream (core/halo.h) —
+  /// carried here so tools can treat it as part of the labeling request.
+  bool halo = false;
+
+  /// d_cut is the compute-phase radius the thresholds must respect:
+  /// grid-based algorithms guarantee exact centers only above the cell
+  /// diameter (= d_cut).
+  Status Validate(double d_cut) const {
+    if (rho_min < 0.0) {
+      return Status::InvalidArgument("rho_min must be non-negative");
+    }
+    if (!(delta_min > d_cut)) {
+      return Status::InvalidArgument(
+          "delta_min must exceed d_cut (grid-based algorithms guarantee "
+          "exact centers only above the cell diameter)");
+    }
+    return Status::Ok();
+  }
+};
+
+/// User-facing knobs, shared by every algorithm: the legacy flat bundle,
+/// now a composition of ComputeParams and ThresholdSpec (see compute() /
+/// threshold()). Kept flat for source compatibility with callers that
+/// assign params.d_cut etc. directly.
 struct DpcParams {
   double d_cut = 0.0;      ///< density ball radius (> 0)
   double rho_min = 0.0;    ///< points below this density are noise
@@ -115,27 +192,33 @@ struct DpcParams {
   /// threads.
   int num_threads = 0;
 
+  /// The compute-phase projection of these params.
+  ComputeParams compute() const { return ComputeParams{d_cut, epsilon}; }
+  /// The threshold-phase projection of these params.
+  ThresholdSpec threshold() const {
+    return ThresholdSpec{rho_min, delta_min, false};
+  }
+
   Status Validate() const {
-    if (!(d_cut > 0.0)) {
-      return Status::InvalidArgument("d_cut must be positive");
-    }
-    if (rho_min < 0.0) {
-      return Status::InvalidArgument("rho_min must be non-negative");
-    }
-    if (!(delta_min > d_cut)) {
-      return Status::InvalidArgument(
-          "delta_min must exceed d_cut (grid-based algorithms guarantee "
-          "exact centers only above the cell diameter)");
-    }
-    if (!(epsilon > 0.0)) {
-      return Status::InvalidArgument("epsilon must be positive");
-    }
+    if (const Status s = compute().Validate(); !s.ok()) return s;
+    if (const Status s = threshold().Validate(d_cut); !s.ok()) return s;
     if (num_threads < 0) {
       return Status::InvalidArgument("num_threads must be >= 0");
     }
     return Status::Ok();
   }
 };
+
+/// The flat bundle reassembled from its two phases.
+inline DpcParams ComposeParams(const ComputeParams& compute,
+                               const ThresholdSpec& threshold) {
+  DpcParams params;
+  params.d_cut = compute.d_cut;
+  params.epsilon = compute.epsilon;
+  params.rho_min = threshold.rho_min;
+  params.delta_min = threshold.delta_min;
+  return params;
+}
 
 /// Per-phase wall times plus index footprint, filled by every Run().
 struct DpcStats {
@@ -145,60 +228,10 @@ struct DpcStats {
   double label_seconds = 0.0;  ///< center selection + label propagation
   double total_seconds = 0.0;
   size_t index_memory_bytes = 0;
-  /// True when the run stopped early at a phase boundary because the
-  /// ExecutionContext's deadline passed or RequestCancel() was called;
-  /// every label is kUnassigned and later-phase stats are zero.
+  /// True when the run stopped early because the ExecutionContext's
+  /// deadline passed or RequestCancel() was called; every label is
+  /// kUnassigned and later-phase stats are zero.
   bool interrupted = false;
-};
-
-/// Full clustering output. rho/delta/dependency are retained so callers
-/// can re-threshold (FinalizeClusters) without re-running the expensive
-/// phases — the decision-graph workflow of the paper's Figure 1.
-struct DpcResult {
-  std::vector<int64_t> label;      ///< cluster id, kNoise, or kUnassigned
-  std::vector<double> rho;         ///< local density per point
-  std::vector<double> delta;       ///< dependent distance (+inf for the peak)
-  std::vector<PointId> dependency; ///< nearest denser neighbor (-1 for the peak)
-  std::vector<PointId> centers;    ///< point id of each cluster center
-  DpcStats stats;
-
-  int64_t num_clusters() const { return static_cast<int64_t>(centers.size()); }
-  bool is_noise(PointId i) const { return label[static_cast<size_t>(i)] == kNoise; }
-};
-
-/// Thread-count precedence (API v2): an ExecutionContext with an explicit
-/// count wins; a context that leaves it unspecified (0) defers to the
-/// deprecated DpcParams::num_threads; 0 everywhere means all hardware
-/// threads.
-inline int EffectiveThreads(const DpcParams& params,
-                            const ExecutionContext& ctx) {
-  if (ctx.num_threads() > 0) return ctx.num_threads();
-  if (params.num_threads > 0) return params.num_threads;
-  return HardwareThreads();
-}
-
-/// The context with the precedence rule applied — what algorithms
-/// actually loop with (shares the caller's pool and cancel flag).
-inline ExecutionContext ResolveContext(const DpcParams& params,
-                                       const ExecutionContext& ctx) {
-  return ctx.WithThreads(EffectiveThreads(params, ctx));
-}
-
-class DpcAlgorithm {
- public:
-  virtual ~DpcAlgorithm() = default;
-  virtual std::string_view name() const = 0;
-  /// API v2 entry point: the ExecutionContext carries the execution
-  /// policy (thread pool, parallelism degree, schedule strategy,
-  /// deadline/cancellation); DpcParams keeps only the clustering knobs.
-  virtual DpcResult Run(const PointSet& points, const DpcParams& params,
-                        const ExecutionContext& ctx) = 0;
-  /// Deprecated two-arg form: a default-context shim. The deprecated
-  /// DpcParams::num_threads is honored through EffectiveThreads; the
-  /// shared process-wide ThreadPool is reused across calls.
-  DpcResult Run(const PointSet& points, const DpcParams& params) {
-    return Run(points, params, ExecutionContext());
-  }
 };
 
 /// True iff q ranks denser than p (rho desc, id asc tie-break). This is
@@ -217,41 +250,82 @@ inline std::vector<PointId> DensityOrder(const std::vector<double>& rho) {
   return order;
 }
 
-/// (Re)derives centers and labels from rho/delta/dependency — the cheap
-/// final phase, shared by all algorithms and by decision-graph
-/// re-thresholding. Requires rho/delta/dependency to be filled.
-inline void FinalizeClusters(const DpcParams& params, DpcResult* result) {
-  const size_t n = result->rho.size();
-  result->centers.clear();
-  result->label.assign(n, kNoise);
-  const std::vector<PointId> order = DensityOrder(result->rho);
-  for (const PointId id : order) {
-    const size_t i = static_cast<size_t>(id);
-    if (result->rho[i] < params.rho_min) continue;  // noise
-    if (result->delta[i] >= params.delta_min) {
-      result->label[i] = static_cast<int64_t>(result->centers.size());
-      result->centers.push_back(id);
-    } else {
-      const PointId dep = result->dependency[i];
-      // dep is denser than id, hence already labeled and never noise
-      // (rho[dep] >= rho[id] >= rho_min); dep == -1 only for the global
-      // peak, whose delta is +inf >= delta_min.
-      result->label[i] = dep >= 0 ? result->label[static_cast<size_t>(dep)] : kNoise;
-    }
-  }
-}
+/// The compute phase's reusable artifact: everything the expensive
+/// phases produced, plus the metadata that identifies which (points,
+/// algorithm, compute params) it answers for and what it cost. Any
+/// ThresholdSpec can be applied to it with LabelSolution /
+/// FinalizeSolution at O(n) — the paper's decision-graph workflow.
+struct DpcSolution {
+  std::string algorithm;            ///< producing DpcAlgorithm::name()
+  uint64_t points_fingerprint = 0;  ///< FingerprintPoints of the input
+  ComputeParams compute;            ///< params the phases ran under
+
+  std::vector<double> rho;          ///< local density per point
+  std::vector<double> delta;        ///< dependent distance (+inf for the peak)
+  std::vector<PointId> dependency;  ///< nearest denser neighbor (-1 for the peak)
+  /// Ids densest-first (DensityOrder(rho)), precomputed once so every
+  /// re-threshold is a sort-free O(n) pass. Empty for interrupted solves.
+  std::vector<PointId> density_order;
+
+  DpcStats stats;  ///< compute phases only; label_seconds stays 0
+  /// Wall cost of producing this solution (build + rho + delta) — what a
+  /// cache gives back per hit, and what cost-aware eviction weighs.
+  double compute_cost_seconds = 0.0;
+
+  PointId size() const { return static_cast<PointId>(rho.size()); }
+  bool interrupted() const { return stats.interrupted; }
+};
+
+/// Full clustering output. rho/delta/dependency are retained so callers
+/// can re-threshold (FinalizeClusters) without re-running the expensive
+/// phases — the decision-graph workflow of the paper's Figure 1.
+struct DpcResult {
+  std::vector<int64_t> label;      ///< cluster id, kNoise, or kUnassigned
+  std::vector<double> rho;         ///< local density per point
+  std::vector<double> delta;       ///< dependent distance (+inf for the peak)
+  std::vector<PointId> dependency; ///< nearest denser neighbor (-1 for the peak)
+  std::vector<PointId> centers;    ///< point id of each cluster center
+  DpcStats stats;
+
+  int64_t num_clusters() const { return static_cast<int64_t>(centers.size()); }
+  bool is_noise(PointId i) const { return label[static_cast<size_t>(i)] == kNoise; }
+};
+
+/// Labels + centers alone — what the threshold phase produces when the
+/// caller already holds the solution (serving-layer label memos).
+struct Labeling {
+  std::vector<int64_t> label;
+  std::vector<PointId> centers;
+};
 
 namespace internal {
 
-/// Phase-boundary cancellation/deadline check shared by every algorithm:
-/// when the context says stop, marks the result interrupted and leaves
-/// every point unassigned (rho/delta keep whatever phases completed).
-inline bool Interrupted(const ExecutionContext& ctx, DpcResult* result) {
-  if (!ctx.ShouldStop()) return false;
-  result->stats.interrupted = true;
-  result->label.assign(result->rho.size(), kUnassigned);
-  result->centers.clear();
-  return true;
+/// The shared labeling pass: center selection by (rho_min, delta_min),
+/// then propagation along dependency chains in density order. `order`
+/// must be DensityOrder(rho).
+inline void LabelWithOrder(const std::vector<double>& rho,
+                           const std::vector<double>& delta,
+                           const std::vector<PointId>& dependency,
+                           const std::vector<PointId>& order,
+                           const ThresholdSpec& spec,
+                           std::vector<int64_t>* label,
+                           std::vector<PointId>* centers) {
+  centers->clear();
+  label->assign(rho.size(), kNoise);
+  for (const PointId id : order) {
+    const size_t i = static_cast<size_t>(id);
+    if (rho[i] < spec.rho_min) continue;  // noise
+    if (delta[i] >= spec.delta_min) {
+      (*label)[i] = static_cast<int64_t>(centers->size());
+      centers->push_back(id);
+    } else {
+      const PointId dep = dependency[i];
+      // dep is denser than id, hence already labeled and never noise
+      // (rho[dep] >= rho[id] >= rho_min); dep == -1 only for the global
+      // peak, whose delta is +inf >= delta_min.
+      (*label)[i] = dep >= 0 ? (*label)[static_cast<size_t>(dep)] : kNoise;
+    }
+  }
 }
 
 class WallTimer {
@@ -272,7 +346,151 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Phase-boundary cancellation/deadline check shared by every algorithm:
+/// when the context says stop, marks the solution interrupted (rho/delta
+/// keep whatever phases completed; labeling never runs on it).
+inline bool Interrupted(const ExecutionContext& ctx, DpcSolution* solution) {
+  if (!ctx.ShouldStop()) return false;
+  solution->stats.interrupted = true;
+  return true;
+}
+
 }  // namespace internal
+
+/// The threshold phase over a solution: labels + centers at O(n) (the
+/// solution's precomputed density order makes it sort-free). For an
+/// interrupted solution every label is kUnassigned.
+inline Labeling LabelSolution(const DpcSolution& solution,
+                              const ThresholdSpec& spec) {
+  Labeling out;
+  if (solution.interrupted()) {
+    out.label.assign(solution.rho.size(), kUnassigned);
+    return out;
+  }
+  if (solution.density_order.size() == solution.rho.size()) {
+    internal::LabelWithOrder(solution.rho, solution.delta, solution.dependency,
+                             solution.density_order, spec, &out.label,
+                             &out.centers);
+  } else {
+    internal::LabelWithOrder(solution.rho, solution.delta, solution.dependency,
+                             DensityOrder(solution.rho), spec, &out.label,
+                             &out.centers);
+  }
+  return out;
+}
+
+/// A full DpcResult assembled from a solution and a threshold — the
+/// bridge from the two-phase API back to the legacy result shape. Label
+/// time is measured into stats.label_seconds / total_seconds.
+inline DpcResult FinalizeSolution(const DpcSolution& solution,
+                                  const ThresholdSpec& spec) {
+  DpcResult result;
+  result.rho = solution.rho;
+  result.delta = solution.delta;
+  result.dependency = solution.dependency;
+  result.stats = solution.stats;
+  internal::WallTimer timer;
+  Labeling labeling = LabelSolution(solution, spec);
+  result.label = std::move(labeling.label);
+  result.centers = std::move(labeling.centers);
+  if (!solution.interrupted()) {
+    result.stats.label_seconds = timer.Seconds();
+    result.stats.total_seconds += result.stats.label_seconds;
+  }
+  return result;
+}
+
+/// (Re)derives centers and labels from rho/delta/dependency — the cheap
+/// final phase, shared by all algorithms and by decision-graph
+/// re-thresholding. Requires rho/delta/dependency to be filled.
+inline void FinalizeClusters(const DpcParams& params, DpcResult* result) {
+  internal::LabelWithOrder(result->rho, result->delta, result->dependency,
+                           DensityOrder(result->rho), params.threshold(),
+                           &result->label, &result->centers);
+}
+
+/// Thread-count precedence (API v2): an ExecutionContext with an explicit
+/// count wins; a context that leaves it unspecified (0) defers to the
+/// deprecated DpcParams::num_threads; 0 everywhere means all hardware
+/// threads.
+inline int EffectiveThreads(const DpcParams& params,
+                            const ExecutionContext& ctx) {
+  if (ctx.num_threads() > 0) return ctx.num_threads();
+  if (params.num_threads > 0) return params.num_threads;
+  return HardwareThreads();
+}
+
+/// The context with the precedence rule applied — what algorithms
+/// actually loop with (shares the caller's pool and cancel flag).
+inline ExecutionContext ResolveContext(const DpcParams& params,
+                                       const ExecutionContext& ctx) {
+  return ctx.WithThreads(EffectiveThreads(params, ctx));
+}
+
+/// Params-free resolution for the Solve entry point: an unspecified
+/// thread count means all hardware threads. Idempotent on contexts the
+/// DpcParams overload already resolved.
+inline ExecutionContext ResolveContext(const ExecutionContext& ctx) {
+  return ctx.num_threads() > 0 ? ctx : ctx.WithThreads(HardwareThreads());
+}
+
+class DpcAlgorithm {
+ public:
+  virtual ~DpcAlgorithm() = default;
+  virtual std::string_view name() const = 0;
+
+  /// The compute phase: produces this algorithm's DpcSolution (rho /
+  /// delta / dependency + metadata). The ExecutionContext carries the
+  /// execution policy (thread pool, parallelism degree, schedule
+  /// strategy, deadline/cancellation). Callers that already hold the
+  /// input's content fingerprint (the serving layer's dataset registry)
+  /// pass it to skip the O(n·dim) re-hash; 0 means "compute it here".
+  DpcSolution Solve(const PointSet& points, const ComputeParams& compute,
+                    const ExecutionContext& ctx,
+                    uint64_t points_fingerprint = 0) {
+    DpcSolution solution = SolveImpl(points, compute, ResolveContext(ctx));
+    solution.algorithm = std::string(name());
+    solution.compute = compute;
+    solution.points_fingerprint = points_fingerprint != 0
+                                      ? points_fingerprint
+                                      : FingerprintPoints(points);
+    solution.compute_cost_seconds = solution.stats.build_seconds +
+                                    solution.stats.rho_seconds +
+                                    solution.stats.delta_seconds;
+    if (!solution.interrupted()) {
+      solution.density_order = DensityOrder(solution.rho);
+    }
+    return solution;
+  }
+
+  /// Legacy one-shot entry point (API v2 signature): the compute phase
+  /// under params.compute() followed by the threshold phase under
+  /// params.threshold(). Goes straight to SolveImpl: the solution is
+  /// finalized and discarded here, so the artifact metadata Solve stamps
+  /// (the O(n·dim) fingerprint hash, the density-order precompute) would
+  /// be pure overhead — FinalizeSolution's fallback sorts inside its own
+  /// timer, exactly like the pre-split label phase did.
+  DpcResult Run(const PointSet& points, const DpcParams& params,
+                const ExecutionContext& ctx) {
+    const DpcSolution solution =
+        SolveImpl(points, params.compute(), ResolveContext(params, ctx));
+    return FinalizeSolution(solution, params.threshold());
+  }
+  /// Deprecated two-arg form: a default-context shim. The deprecated
+  /// DpcParams::num_threads is honored through EffectiveThreads; the
+  /// shared process-wide ThreadPool is reused across calls.
+  DpcResult Run(const PointSet& points, const DpcParams& params) {
+    return Run(points, params, ExecutionContext());
+  }
+
+ protected:
+  /// Algorithm body: fill rho/delta/dependency and the phase stats. The
+  /// context arrives resolved (threads >= 1); Solve stamps the metadata
+  /// (name, fingerprint, compute params, cost, density order) afterward.
+  virtual DpcSolution SolveImpl(const PointSet& points,
+                                const ComputeParams& compute,
+                                const ExecutionContext& ctx) = 0;
+};
 
 }  // namespace dpc
 

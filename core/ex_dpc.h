@@ -4,8 +4,10 @@
 //   delta — exact nearest-denser-neighbor search: a kd-tree NN query that
 //           only accepts candidates ranking denser under DenserThan().
 //           The globally densest point gets delta = +inf.
-//   label — center selection by (rho_min, delta_min), then propagation
-//           along dependency chains in density order.
+//
+// Labeling is NOT part of the algorithm: SolveImpl produces the
+// DpcSolution and any ThresholdSpec is applied downstream
+// (FinalizeSolution / the Run shim).
 //
 // Both per-point phases are embarrassingly parallel over the immutable
 // tree. Under the default cost-guided strategy they iterate grid cells
@@ -47,15 +49,15 @@ class ExDpc : public DpcAlgorithm {
   ExDpc() = default;
   explicit ExDpc(ExDpcOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "Ex-DPC"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     result.rho.assign(static_cast<size_t>(n), 0.0);
     result.delta.assign(static_cast<size_t>(n),
@@ -79,7 +81,7 @@ class ExDpc : public DpcAlgorithm {
     std::vector<double> cell_costs;
     if (cost_guided) {
       grid.Build(points,
-                 params.d_cut / std::sqrt(static_cast<double>(points.dim())));
+                 compute.d_cut / std::sqrt(static_cast<double>(points.dim())));
       cell_costs = grid.CellCosts();
     }
     result.stats.build_seconds = phase.Lap();
@@ -88,7 +90,7 @@ class ExDpc : public DpcAlgorithm {
     // rho: range count minus the point itself.
     auto rho_for = [&](PointId i) {
       result.rho[static_cast<size_t>(i)] =
-          static_cast<double>(tree.RangeCount(points[i], params.d_cut) - 1);
+          static_cast<double>(tree.RangeCount(points[i], compute.d_cut) - 1);
     };
     if (cost_guided) {
       ParallelForWithCosts(exec, cell_costs, [&](int64_t cell) {
@@ -118,17 +120,12 @@ class ExDpc : public DpcAlgorithm {
                          &result.dependency);
     }
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }
 
+ public:
   /// Exact delta/dependency for one point: the nearest neighbor ranking
   /// denser under DenserThan.
   static void ExactDeltaFor(const PointSet& points, const KdTree& tree,

@@ -62,15 +62,15 @@ class SApproxDpc : public DpcAlgorithm {
   SApproxDpc() = default;
   explicit SApproxDpc(SApproxDpcOptions options) : options_(options) {}
 
-  using DpcAlgorithm::Run;
   std::string_view name() const override { return "S-Approx-DPC"; }
 
-  DpcResult Run(const PointSet& points, const DpcParams& params,
-                const ExecutionContext& ctx) override {
-    ExecutionContext exec = ResolveContext(params, ctx);
-    if (options_.scheduler) exec = exec.WithStrategy(*options_.scheduler);
+ protected:
+  DpcSolution SolveImpl(const PointSet& points, const ComputeParams& compute,
+                        const ExecutionContext& ctx) override {
+    ExecutionContext exec =
+        options_.scheduler ? ctx.WithStrategy(*options_.scheduler) : ctx;
 
-    DpcResult result;
+    DpcSolution result;
     const PointId n = points.size();
     const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
@@ -83,7 +83,7 @@ class SApproxDpc : public DpcAlgorithm {
     KdTree tree;
     tree.Build(points);
     const UniformGrid grid(points,
-                           params.d_cut / std::sqrt(static_cast<double>(dim)));
+                           compute.d_cut / std::sqrt(static_cast<double>(dim)));
     const std::vector<double> cell_costs = grid.CellCosts();
     result.stats.build_seconds = phase.Lap();
 
@@ -91,7 +91,7 @@ class SApproxDpc : public DpcAlgorithm {
     ParallelForWithCosts(exec, cell_costs, [&](int64_t cell) {
       for (const PointId i : grid.members(cell)) {
         result.rho[static_cast<size_t>(i)] = static_cast<double>(
-            tree.RangeCount(points[i], params.d_cut) - 1);
+            tree.RangeCount(points[i], compute.d_cut) - 1);
       }
     });
     result.stats.rho_seconds = phase.Lap();
@@ -124,7 +124,7 @@ class SApproxDpc : public DpcAlgorithm {
 
     // Epsilon-driven cell subsampling: peaks always survive; non-peak
     // members survive at keep_rate via the nested per-point hash.
-    const double keep_rate = 1.0 / (1.0 + 4.0 * params.epsilon);
+    const double keep_rate = 1.0 / (1.0 + 4.0 * compute.epsilon);
     const uint64_t seed = static_cast<uint64_t>(options_.sample_seed);
     PointSet candidates(dim);
     std::vector<PointId> candidate_ids;
@@ -169,13 +169,7 @@ class SApproxDpc : public DpcAlgorithm {
           nn >= 0 ? candidate_ids[static_cast<size_t>(nn)] : PointId{-1};
     });
     result.stats.delta_seconds = phase.Lap();
-    if (internal::Interrupted(exec, &result)) {
-      result.stats.total_seconds = total.Seconds();
-      return result;
-    }
-
-    FinalizeClusters(params, &result);
-    result.stats.label_seconds = phase.Lap();
+    internal::Interrupted(exec, &result);
     result.stats.total_seconds = total.Seconds();
     return result;
   }

@@ -22,15 +22,24 @@
 //                       scheduler takes static|dynamic|lpt|inherit.
 //                       Unknown keys fail with the recognized-key menu.
 //   --k N               instead of --delta-min: pick exactly N centers
+//   --sweep KEY=a,b,c   threshold sweep mode: KEY is delta_min or rho_min.
+//                       Runs the expensive compute phase ONCE (Solve),
+//                       then applies each threshold as an O(n) finalize —
+//                       the decision-graph exploration workflow. Prints
+//                       one summary row per value plus the measured
+//                       compute-once speedup.
 //   --output PATH       write "x0,...,xd-1,label" CSV
 //   --decision-graph P  write the decision graph CSV
 //   --halo              also report cluster core/halo sizes
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "core/decision_graph.h"
 #include "core/halo.h"
 #include "core/options.h"
@@ -52,6 +61,7 @@ struct CliArgs {
   int threads = 0;
   int k = 0;
   std::vector<std::string> opts;  // raw key=value strings
+  std::string sweep;              // "delta_min=a,b,c" / "rho_min=a,b,c"
   std::string output;
   std::string decision_graph;
   bool halo = false;
@@ -61,12 +71,15 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --input points.csv --d-cut X [--algorithm NAME] "
                "[--rho-min X] [--delta-min X | --k N] [--epsilon X] "
-               "[--threads N] [--opt key=value ...] [--output out.csv] "
+               "[--threads N] [--opt key=value ...] "
+               "[--sweep delta_min=a,b,c | --sweep rho_min=a,b,c] "
+               "[--output out.csv] "
                "[--decision-graph dg.csv] [--halo] [--demo]\n"
                "  --threads N   parallelism degree (0 = all hardware threads)\n"
                "  --opt k=v     per-algorithm option, repeatable — e.g.\n"
                "                joint_range_search=false, scheduler=static|dynamic|lpt,\n"
-               "                num_tables=6, num_bits=5, sample_rate=0.5\n",
+               "                num_tables=6, num_bits=5, sample_rate=0.5\n"
+               "  --sweep KEY=a,b,c  compute once, finalize per threshold\n",
                argv0);
   return 2;
 }
@@ -97,6 +110,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->threads = std::atoi(argv[++i]);
     } else if (a == "--opt" && i + 1 < argc) {
       args->opts.emplace_back(argv[++i]);
+    } else if (a == "--sweep" && i + 1 < argc) {
+      args->sweep = argv[++i];
     } else if (a == "--k" && i + 1 < argc) {
       args->k = std::atoi(argv[++i]);
     } else if (a == "--output" && i + 1 < argc) {
@@ -111,6 +126,118 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     }
   }
   return true;
+}
+
+/// The --sweep mode: one Solve, many O(n) finalizes. Returns the process
+/// exit code.
+int RunSweep(dpc::DpcAlgorithm& algo, const dpc::PointSet& points,
+             const CliArgs& args) {
+  const size_t eq = args.sweep.find('=');
+  const std::string key = eq == std::string::npos ? "" : args.sweep.substr(0, eq);
+  if (key != "delta_min" && key != "rho_min") {
+    std::fprintf(stderr,
+                 "error: --sweep expects delta_min=a,b,c or rho_min=a,b,c\n");
+    return 2;
+  }
+  std::vector<double> values;
+  for (const std::string& item : dpc::StrSplit(args.sweep.substr(eq + 1), ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (item.empty() || end != item.c_str() + item.size()) {
+      std::fprintf(stderr, "error: --sweep value '%s' is not a number\n",
+                   item.c_str());
+      return 2;
+    }
+    values.push_back(v);
+  }
+
+  // Sweep mode prints per-threshold summaries only; flags that emit a
+  // single labeling's artifacts would be silently meaningless, so reject
+  // them instead of ignoring them.
+  if (args.k > 0 || !args.output.empty() || !args.decision_graph.empty() ||
+      args.halo) {
+    std::fprintf(stderr,
+                 "error: --k, --output, --decision-graph, and --halo are not "
+                 "supported with --sweep (which labeling would they use?)\n");
+    return 2;
+  }
+
+  const dpc::ComputeParams compute{args.d_cut, args.epsilon};
+  if (const dpc::Status s = compute.Validate(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  dpc::ThresholdSpec base;
+  base.rho_min = args.rho_min;
+  // args.delta_min < 0 means "not given" (the single-run auto default).
+  // An explicit value must either be valid (rho_min sweeps use it) or is
+  // contradictory (delta_min sweeps replace it) — never silently fixed.
+  if (args.delta_min >= 0.0) {
+    if (key == "delta_min") {
+      std::fprintf(stderr,
+                   "error: --delta-min conflicts with --sweep delta_min=...\n");
+      return 2;
+    }
+    if (args.delta_min <= args.d_cut) {
+      std::fprintf(stderr,
+                   "error: delta_min must exceed d_cut (got %g vs %g)\n",
+                   args.delta_min, args.d_cut);
+      return 1;
+    }
+  }
+  base.delta_min =
+      args.delta_min >= 0.0 ? args.delta_min : 2.0 * args.d_cut;
+  // Validate every threshold before paying for the compute phase.
+  for (const double v : values) {
+    dpc::ThresholdSpec spec = base;
+    (key == "delta_min" ? spec.delta_min : spec.rho_min) = v;
+    if (const dpc::Status s = spec.Validate(args.d_cut); !s.ok()) {
+      std::fprintf(stderr, "error: sweep value %g: %s\n", v,
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const dpc::ExecutionContext ctx(args.threads);
+  const auto solve_start = std::chrono::steady_clock::now();
+  const dpc::DpcSolution solution = algo.Solve(points, compute, ctx);
+  const double solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solve_start)
+          .count();
+  std::printf("%s solved %lld points (d=%d) once in %.3fs; sweeping %s over "
+              "%zu values:\n",
+              std::string(algo.name()).c_str(),
+              static_cast<long long>(points.size()), points.dim(),
+              solve_seconds, key.c_str(), values.size());
+  std::printf("%12s %10s %10s %14s\n", key.c_str(), "clusters", "noise",
+              "finalize [ms]");
+
+  double finalize_seconds = 0.0;
+  for (const double v : values) {
+    dpc::ThresholdSpec spec = base;
+    (key == "delta_min" ? spec.delta_min : spec.rho_min) = v;
+    const auto start = std::chrono::steady_clock::now();
+    const dpc::Labeling labeling = dpc::LabelSolution(solution, spec);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    finalize_seconds += seconds;
+    int64_t noise = 0;
+    for (const int64_t label : labeling.label) {
+      if (label == dpc::kNoise) ++noise;
+    }
+    std::printf("%12g %10lld %10lld %14.3f\n", v,
+                static_cast<long long>(labeling.centers.size()),
+                static_cast<long long>(noise), seconds * 1e3);
+  }
+  const double recompute_estimate =
+      solve_seconds * static_cast<double>(values.size());
+  std::printf("sweep total: %.3fms of finalize vs ~%.3fs of per-threshold "
+              "recompute (%.0fx)\n",
+              finalize_seconds * 1e3, recompute_estimate,
+              recompute_estimate / std::max(finalize_seconds, 1e-9));
+  return 0;
 }
 
 }  // namespace
@@ -155,6 +282,10 @@ int main(int argc, char** argv) {
   if (!algo.ok()) {
     std::fprintf(stderr, "error: %s\n", algo.status().ToString().c_str());
     return 1;
+  }
+
+  if (!args.sweep.empty()) {
+    return RunSweep(*algo.value(), points, args);
   }
 
   dpc::DpcParams params;

@@ -14,10 +14,19 @@
 //   gen NAME N [CLUSTERS] [SEED]
 //                             register a generated Gaussian benchmark
 //   drop NAME                 unregister a dataset handle
-//   run NAME ALGO k=v ...     submit a request. Keys:
+//   run NAME ALGO k=v ...     submit a clustering request. Keys:
 //                               d_cut= rho_min= delta_min= epsilon=
 //                               deadline_ms= priority= opt.KEY=VALUE
 //                             delta_min defaults to 2*d_cut, rho_min to 10.
+//   rethreshold NAME ALGO k=v ...
+//                             threshold-only request against the cached
+//                             solution of the same compute configuration
+//                             (same keys as run); answered synchronously
+//                             without touching the thread pool, NOT_FOUND
+//                             when the solution cache is cold.
+//   graph NAME ALGO k=v ...   top-k gamma = rho*delta points of the cached
+//                             solution's decision graph; extra key top_k=
+//                             (default 10). Same warm-only contract.
 //   wait                      resolve pending requests, print responses
 //   stats                     print server + cache counters
 //   quit                      drain, shut down, exit
@@ -44,6 +53,7 @@ namespace {
 
 struct Pending {
   uint64_t id = 0;
+  dpc::serve::RequestKind kind = dpc::serve::RequestKind::kCluster;
   std::string dataset;
   std::string algorithm;
   std::future<dpc::serve::ClusterResponse> future;
@@ -55,7 +65,10 @@ int Usage(const char* argv0) {
                "[--max-batch N] [--batch-window-ms N]\n"
                "commands: load NAME PATH | gen NAME N [CLUSTERS] [SEED] | "
                "drop NAME |\n"
-               "          run NAME ALGO k=v ... | wait | stats | quit\n",
+               "          run NAME ALGO k=v ... | rethreshold NAME ALGO "
+               "k=v ... |\n"
+               "          graph NAME ALGO k=v ... top_k=N | wait | stats | "
+               "quit\n",
                argv0);
   return 2;
 }
@@ -74,17 +87,30 @@ std::vector<std::string> Tokenize(const std::string& line) {
 }
 
 void PrintResponse(const Pending& p, const dpc::serve::ClusterResponse& r) {
+  const char* kind = dpc::serve::ToString(p.kind);
   if (!r.status.ok()) {
-    std::printf("#%llu %s %s -> %s (queue %.1fms)\n",
-                static_cast<unsigned long long>(p.id), p.dataset.c_str(),
+    std::printf("#%llu %s %s %s -> %s (queue %.1fms)\n",
+                static_cast<unsigned long long>(p.id), kind, p.dataset.c_str(),
                 p.algorithm.c_str(), r.status.ToString().c_str(),
                 r.queue_seconds * 1e3);
     return;
   }
+  if (p.kind == dpc::serve::RequestKind::kGraph) {
+    std::printf("#%llu %s %s %s -> ok: %zu gamma points%s\n",
+                static_cast<unsigned long long>(p.id), kind, p.dataset.c_str(),
+                p.algorithm.c_str(), r.graph.size(),
+                r.cache_hit ? " [cache hit]" : "");
+    for (size_t rank = 0; rank < r.graph.size(); ++rank) {
+      const dpc::GammaEntry& e = r.graph[rank];
+      std::printf("  %2zu. id=%lld rho=%.1f delta=%.6g gamma=%.6g\n", rank + 1,
+                  static_cast<long long>(e.id), e.rho, e.delta, e.gamma);
+    }
+    return;
+  }
   const dpc::eval::ClusterSummary summary = dpc::eval::Summarize(*r.result);
   std::printf(
-      "#%llu %s %s -> ok: %s%s (queue %.1fms, run %.1fms)\n",
-      static_cast<unsigned long long>(p.id), p.dataset.c_str(),
+      "#%llu %s %s %s -> ok: %s%s (queue %.1fms, run %.1fms)\n",
+      static_cast<unsigned long long>(p.id), kind, p.dataset.c_str(),
       p.algorithm.c_str(), dpc::eval::ToString(summary).c_str(),
       r.cache_hit ? " [cache hit]" : "", r.queue_seconds * 1e3,
       r.run_seconds * 1e3);
@@ -200,8 +226,13 @@ int main(int argc, char** argv) {
     } else if (cmd == "drop" && tokens.size() == 2) {
       std::printf("drop %s: %s\n", tokens[1].c_str(),
                   server.datasets().Unregister(tokens[1]) ? "ok" : "unknown");
-    } else if (cmd == "run" && tokens.size() >= 3) {
+    } else if ((cmd == "run" || cmd == "rethreshold" || cmd == "graph") &&
+               tokens.size() >= 3) {
       dpc::serve::ClusterRequest request;
+      request.kind = cmd == "run" ? dpc::serve::RequestKind::kCluster
+                     : cmd == "rethreshold"
+                         ? dpc::serve::RequestKind::kRethreshold
+                         : dpc::serve::RequestKind::kGraph;
       request.dataset = tokens[1];
       request.algorithm = tokens[2];
       request.params.rho_min = 10.0;
@@ -227,12 +258,15 @@ int main(int argc, char** argv) {
           request.deadline = std::chrono::milliseconds(std::atoll(value.c_str()));
         } else if (key == "priority") {
           request.priority = std::atoi(value.c_str());
+        } else if (key == "top_k" &&
+                   request.kind == dpc::serve::RequestKind::kGraph) {
+          request.graph_top_k = std::atoi(value.c_str());
         } else if (key.rfind("opt.", 0) == 0 && key.size() > 4) {
           request.options[key.substr(4)] = value;
         } else {
           bad = "unknown key '" + key +
                 "' (expected d_cut, rho_min, delta_min, epsilon, "
-                "deadline_ms, priority, or opt.KEY)";
+                "deadline_ms, priority, top_k (graph), or opt.KEY)";
           break;
         }
       }
@@ -245,6 +279,7 @@ int main(int argc, char** argv) {
       }
       Pending p;
       p.id = next_id++;
+      p.kind = request.kind;
       p.dataset = request.dataset;
       p.algorithm = request.algorithm;
       p.future = server.Submit(std::move(request));
@@ -253,21 +288,27 @@ int main(int argc, char** argv) {
       wait_all();
     } else if (cmd == "stats" && tokens.size() == 1) {
       const dpc::serve::ServerStats s = server.stats();
-      const dpc::serve::ResultCache::Stats c = server.cache().stats();
+      const dpc::serve::SolutionCache::Stats c = server.cache().stats();
       std::printf(
           "server: submitted=%llu completed=%llu cache_hits=%llu "
-          "deadline_exceeded=%llu errors=%llu\n",
+          "recomputes=%llu rethreshold_served=%llu deadline_exceeded=%llu "
+          "errors=%llu\n",
           static_cast<unsigned long long>(s.submitted),
           static_cast<unsigned long long>(s.completed),
           static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.recomputes),
+          static_cast<unsigned long long>(s.rethreshold_served),
           static_cast<unsigned long long>(s.deadline_exceeded),
           static_cast<unsigned long long>(s.errors));
       std::printf(
-          "cache: size=%zu/%zu hits=%llu misses=%llu evictions=%llu\n",
+          "cache: size=%zu/%zu solution_hits=%llu solution_misses=%llu "
+          "evictions=%llu label_hits=%llu finalizations=%llu\n",
           server.cache().size(), server.cache().capacity(),
-          static_cast<unsigned long long>(c.hits),
-          static_cast<unsigned long long>(c.misses),
-          static_cast<unsigned long long>(c.evictions));
+          static_cast<unsigned long long>(c.solution_hits),
+          static_cast<unsigned long long>(c.solution_misses),
+          static_cast<unsigned long long>(c.evictions),
+          static_cast<unsigned long long>(c.label_hits),
+          static_cast<unsigned long long>(c.finalizations));
     } else if (cmd == "quit" && tokens.size() == 1) {
       break;
     } else {

@@ -4,8 +4,18 @@
 // ExecutionContext per request (deadline armed from the request budget).
 // Requests in a batch execute serially, each with the full pool — the
 // paper's algorithms scale with threads, so one request at full width
-// beats two at half width, and the result cache absorbs the duplicates
+// beats two at half width, and the solution cache absorbs the duplicates
 // that batching exposes.
+//
+// The cache is the two-tier SolutionCache (serve/solution_cache.h),
+// keyed by the COMPUTE configuration only: a kCluster request whose
+// compute key hits answers any (rho_min, delta_min) with an O(n)
+// finalize and zero algorithm work. kRethreshold and kGraph requests go
+// further — they are answered synchronously at Submit, entirely off the
+// dispatcher and the ThreadPool, and fail NOT_FOUND when the solution
+// tier is cold instead of recomputing. ServerStats::recomputes counts
+// actual algorithm executions, so "a re-threshold never recomputes" is
+// an observable invariant, not a hope.
 //
 // Threading note: the dispatcher is the serve/ layer's only std::thread;
 // all clustering parallelism still comes from parallel/thread_pool.h.
@@ -15,7 +25,8 @@
 //   kDeadlineExceeded   budget expired in the queue (never ran) or
 //                       mid-run (the ExecutionContext stopped the
 //                       algorithm between / inside phases)
-//   kNotFound           unknown dataset handle or algorithm name
+//   kNotFound           unknown dataset handle or algorithm name, or a
+//                       kRethreshold/kGraph request against a cold cache
 //   kInvalidArgument    bad params or per-algorithm options
 //   kCancelled          server shut down before the request was admitted
 #ifndef DPC_SERVE_SERVER_H_
@@ -31,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/decision_graph.h"
 #include "core/dpc.h"
 #include "core/registry.h"
 #include "core/status.h"
@@ -38,8 +50,8 @@
 #include "parallel/thread_pool.h"
 #include "serve/dataset_registry.h"
 #include "serve/request.h"
-#include "serve/result_cache.h"
 #include "serve/scheduler.h"
+#include "serve/solution_cache.h"
 
 namespace dpc::serve {
 
@@ -47,8 +59,12 @@ struct ServerOptions {
   /// Worker threads in the shared pool (0 = all hardware threads). Every
   /// request executes on this one pool.
   int pool_threads = 0;
-  /// Result-cache capacity in entries; 0 disables caching.
+  /// Solution-cache capacity in solutions; 0 disables caching (which
+  /// also makes every kRethreshold/kGraph request fail NOT_FOUND).
   size_t cache_capacity = 64;
+  /// Bound on memoized labelings per cached solution (each memo carries
+  /// full DpcResult copies — see serve/solution_cache.h).
+  size_t labelings_per_solution = 16;
   /// Most submissions admitted per batch.
   size_t max_batch = 8;
   /// How long an admitted batch holds the door open for more arrivals
@@ -64,10 +80,12 @@ struct ServerOptions {
 /// Monotonic counters, snapshotted by stats().
 struct ServerStats {
   uint64_t submitted = 0;
-  uint64_t completed = 0;          ///< responded OK (computed or cached)
-  uint64_t cache_hits = 0;
-  uint64_t deadline_exceeded = 0;  ///< expired in queue or mid-run
-  uint64_t errors = 0;             ///< NotFound / InvalidArgument / Cancelled
+  uint64_t completed = 0;           ///< responded OK (computed or cached)
+  uint64_t cache_hits = 0;          ///< answered without running the algorithm
+  uint64_t recomputes = 0;          ///< actual algorithm Solve executions
+  uint64_t rethreshold_served = 0;  ///< kRethreshold/kGraph answered at submit
+  uint64_t deadline_exceeded = 0;   ///< expired in queue or mid-run
+  uint64_t errors = 0;              ///< NotFound / InvalidArgument / Cancelled
 };
 
 class ClusterServer {
@@ -76,7 +94,7 @@ class ClusterServer {
       : options_(options),
         pool_(std::make_shared<ThreadPool>(options.pool_threads)),
         base_ctx_(pool_->size(), options.strategy, pool_),
-        cache_(options.cache_capacity),
+        cache_(options.cache_capacity, options.labelings_per_solution),
         dispatcher_([this] { ServeLoop(); }) {}
 
   ClusterServer(const ClusterServer&) = delete;
@@ -86,19 +104,35 @@ class ClusterServer {
 
   DatasetRegistry& datasets() { return datasets_; }
   const DatasetRegistry& datasets() const { return datasets_; }
-  ResultCache& cache() { return cache_; }
+  SolutionCache& cache() { return cache_; }
 
   /// Validates and admits the request; the response arrives through the
   /// returned future once the dispatcher serves it. Invalid requests and
   /// submissions after Shutdown resolve immediately (the shutdown check
   /// lives inside AdmissionQueue::Push, under the queue lock, so a
   /// Submit racing Shutdown either lands in the drained-by-dispatcher
-  /// queue or is rejected — never stranded).
+  /// queue or is rejected — never stranded). kRethreshold and kGraph
+  /// requests resolve synchronously here: the threshold phase is O(n)
+  /// against a cached solution, so they bypass the queue, the batch
+  /// window, and the ThreadPool entirely.
   std::future<ClusterResponse> Submit(ClusterRequest request) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
     if (const Status s = request.Validate(); !s.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       return Resolved(s);
+    }
+    if (request.kind != RequestKind::kCluster) {
+      // Honor the post-Shutdown contract on the synchronous path too: the
+      // queue-based kinds are rejected by AdmissionQueue::Push, so the
+      // cache-only kinds must not keep answering against a server that is
+      // tearing down.
+      if (queue_.shutdown_requested()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return Resolved(Status::Cancelled("server is shut down"));
+      }
+      std::promise<ClusterResponse> promise;
+      promise.set_value(ServeFromCacheOnly(request));
+      return promise.get_future();
     }
     bool accepted = true;
     std::future<ClusterResponse> future =
@@ -121,6 +155,9 @@ class ClusterServer {
     s.submitted = submitted_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.recomputes = recomputes_.load(std::memory_order_relaxed);
+    s.rethreshold_served =
+        rethreshold_served_.load(std::memory_order_relaxed);
     s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
     s.errors = errors_.load(std::memory_order_relaxed);
     return s;
@@ -133,6 +170,70 @@ class ClusterServer {
     response.status = std::move(status);
     promise.set_value(std::move(response));
     return promise.get_future();
+  }
+
+  /// Resolves the dataset and algorithm for a request, or returns the
+  /// error status through *failure. Resolving (and thereby validating)
+  /// the algorithm happens BEFORE any cache access: canonicalization is
+  /// type-blind ("1e1" renders like "10"), so an invalid spelling could
+  /// otherwise hit a valid config's cache entry and succeed iff the
+  /// cache happens to be warm.
+  std::shared_ptr<const NamedDataset> ResolveRequest(
+      const ClusterRequest& request,
+      StatusOr<std::unique_ptr<DpcAlgorithm>>* algo, Status* failure) {
+    std::shared_ptr<const NamedDataset> dataset =
+        datasets_.Find(request.dataset);
+    if (dataset == nullptr) {
+      *failure = Status::NotFound("unknown dataset handle '" +
+                                  request.dataset + "'");
+      return nullptr;
+    }
+    *algo = MakeAlgorithmByName(request.algorithm, request.options);
+    if (!algo->ok()) {
+      *failure = algo->status();
+      return nullptr;
+    }
+    return dataset;
+  }
+
+  /// The pool-free path for kRethreshold/kGraph: answer from the
+  /// solution cache or fail NOT_FOUND — never compute.
+  ClusterResponse ServeFromCacheOnly(const ClusterRequest& request) {
+    ClusterResponse response;
+    StatusOr<std::unique_ptr<DpcAlgorithm>> algo(Status::Ok());
+    const std::shared_ptr<const NamedDataset> dataset =
+        ResolveRequest(request, &algo, &response.status);
+    if (dataset == nullptr) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    const std::string key =
+        MakeSolutionKey(dataset->fingerprint, request.algorithm,
+                        request.options, request.params.compute());
+    if (request.kind == RequestKind::kGraph) {
+      const std::shared_ptr<const DpcSolution> solution = cache_.Lookup(key);
+      if (solution == nullptr) return ColdCache(request, &response);
+      response.graph =
+          TopGammaPoints(solution->rho, solution->delta, request.graph_top_k);
+    } else {
+      response.result = cache_.Finalize(key, request.params.threshold());
+      if (response.result == nullptr) return ColdCache(request, &response);
+    }
+    response.cache_hit = true;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    rethreshold_served_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+
+  ClusterResponse ColdCache(const ClusterRequest& request,
+                            ClusterResponse* response) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response->status = Status::NotFound(
+        std::string(ToString(request.kind)) +
+        " request found no cached solution for this compute configuration; "
+        "submit a cluster request first");
+    return std::move(*response);
   }
 
   void ServeLoop() {
@@ -162,33 +263,24 @@ class ClusterServer {
       return;
     }
 
+    StatusOr<std::unique_ptr<DpcAlgorithm>> algo(Status::Ok());
     const std::shared_ptr<const NamedDataset> dataset =
-        datasets_.Find(s.request.dataset);
+        ResolveRequest(s.request, &algo, &response.status);
     if (dataset == nullptr) {
       errors_.fetch_add(1, std::memory_order_relaxed);
-      response.status = Status::NotFound("unknown dataset handle '" +
-                                         s.request.dataset + "'");
       s.promise.set_value(std::move(response));
       return;
     }
 
-    // Resolve (and thereby validate) the algorithm BEFORE the cache
-    // lookup: canonicalization is type-blind ("1e1" renders like "10"),
-    // so an invalid spelling could otherwise hit a valid config's cache
-    // entry and succeed iff the cache happens to be warm.
-    StatusOr<std::unique_ptr<DpcAlgorithm>> algo =
-        MakeAlgorithmByName(s.request.algorithm, s.request.options);
-    if (!algo.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      response.status = algo.status();
-      s.promise.set_value(std::move(response));
-      return;
-    }
-
+    const ThresholdSpec threshold = s.request.params.threshold();
     const std::string key =
-        MakeCacheKey(dataset->fingerprint, s.request.algorithm,
-                     s.request.options, s.request.params);
-    if (std::shared_ptr<const DpcResult> cached = cache_.Lookup(key)) {
+        MakeSolutionKey(dataset->fingerprint, s.request.algorithm,
+                        s.request.options, s.request.params.compute());
+    // Solution-tier hit: ANY threshold is a finalize-only answer — the
+    // re-threshold fast path that makes decision-graph exploration a
+    // memory-speed workload.
+    if (std::shared_ptr<const DpcResult> cached =
+            cache_.Finalize(key, threshold)) {
       completed_.fetch_add(1, std::memory_order_relaxed);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       response.result = std::move(cached);
@@ -198,24 +290,25 @@ class ClusterServer {
     }
 
     // Per-request context: shares the pool and policy, but deadline and
-    // cancellation are this request's alone.
+    // cancellation are this request's alone. The deprecated per-request
+    // DpcParams::num_threads never reaches the compute phase — Solve
+    // takes its whole execution policy from this context.
     ExecutionContext ctx = base_ctx_.WithFreshStopState();
     if (s.deadline_at != std::chrono::steady_clock::time_point::max()) {
       ctx.set_deadline(s.deadline_at);
     }
-    // The server owns execution policy; the deprecated per-request
-    // num_threads must not shrink the pool (see EffectiveThreads).
-    DpcParams params = s.request.params;
-    params.num_threads = 0;
 
     const auto run_start = std::chrono::steady_clock::now();
-    DpcResult result = algo.value()->Run(dataset->points, params, ctx);
+    DpcSolution solution = algo.value()->Solve(
+        dataset->points, s.request.params.compute(), ctx,
+        dataset->fingerprint);
+    recomputes_.fetch_add(1, std::memory_order_relaxed);
     response.run_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       run_start)
             .count();
 
-    if (result.stats.interrupted) {
+    if (solution.interrupted()) {
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       response.status = Status::DeadlineExceeded(
           "deadline expired after " + std::to_string(response.run_seconds) +
@@ -224,10 +317,17 @@ class ClusterServer {
       return;
     }
 
-    auto shared = std::make_shared<const DpcResult>(std::move(result));
-    cache_.Insert(key, shared);
+    auto shared = std::make_shared<const DpcSolution>(std::move(solution));
+    cache_.Insert(key, shared, shared->compute_cost_seconds);
+    // Label through the cache so this first threshold is memoized and
+    // later identical requests alias the same immutable result; the
+    // fallback covers a disabled (capacity 0) cache.
+    response.result = cache_.Finalize(key, threshold);
+    if (response.result == nullptr) {
+      response.result =
+          std::make_shared<const DpcResult>(FinalizeSolution(*shared, threshold));
+    }
     completed_.fetch_add(1, std::memory_order_relaxed);
-    response.result = std::move(shared);
     s.promise.set_value(std::move(response));
   }
 
@@ -235,12 +335,14 @@ class ClusterServer {
   std::shared_ptr<ThreadPool> pool_;
   ExecutionContext base_ctx_;
   DatasetRegistry datasets_;
-  ResultCache cache_;
+  SolutionCache cache_;
   AdmissionQueue queue_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> recomputes_{0};
+  std::atomic<uint64_t> rethreshold_served_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> errors_{0};
 

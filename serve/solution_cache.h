@@ -1,0 +1,294 @@
+// Two-tier cache for the serving layer, built around the library's
+// compute/threshold split:
+//
+//   solution tier — DpcSolutions keyed by everything the EXPENSIVE phase
+//       depends on: dataset content fingerprint, algorithm name,
+//       canonicalized per-algorithm options, and ComputeParams (d_cut,
+//       epsilon). Threshold knobs are deliberately NOT in the key — one
+//       cached solution answers every (rho_min, delta_min).
+//   label tier — per-solution memo of finalized DpcResults keyed by
+//       ThresholdSpec, so repeated thresholds alias one immutable result
+//       and even a fresh threshold costs only an O(n) LabelSolution pass.
+//
+// This is what turns the decision-graph exploration workload (many
+// thresholds against few compute configurations — the paper's Figure 1
+// workflow) from N recomputes into one compute plus N O(n) finalizes.
+//
+// Eviction is cost-scaled LRU (GreedyDual): each entry holds a credit of
+// (global inflation L + its compute cost); hits refresh the credit; the
+// victim is the minimum-credit entry and its credit becomes the new L.
+// An expensive Ex-DPC solution therefore outlives many cheap approximate
+// ones, yet ages out once enough cheaper traffic has passed — and the
+// whole policy is deterministic for a fixed access sequence (ties break
+// toward the least recently touched entry). Label memos ride with their
+// entry and are bounded per solution (LRU within the entry).
+//
+// Execution policy (thread count, schedule strategy) is excluded from
+// keys on both tiers: the library-wide determinism contract (labels are
+// bit-identical across strategies and thread counts, enforced by
+// tests/determinism_test.cc) is what makes a cached artifact valid for
+// every future execution of the same configuration. Thread-safe.
+#ifndef DPC_SERVE_SOLUTION_CACHE_H_
+#define DPC_SERVE_SOLUTION_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/options.h"
+
+namespace dpc::serve {
+
+/// The solution-tier key. Numeric params render with %.17g (the same
+/// normalization CanonicalOptionValue applies to option values), so any
+/// two requests whose compute configurations are semantically identical —
+/// however they were spelled — map to one key. The per-algorithm
+/// "scheduler" option (execution policy) is excluded; so are rho_min and
+/// delta_min (threshold-tier concerns).
+inline std::string MakeSolutionKey(uint64_t dataset_fingerprint,
+                                   const std::string& algorithm,
+                                   const OptionsMap& options,
+                                   const ComputeParams& compute) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%016llx|%.17g|%.17g|",
+                static_cast<unsigned long long>(dataset_fingerprint),
+                compute.d_cut, compute.epsilon);
+  OptionsMap keyed = options;
+  keyed.erase("scheduler");
+  return buf + algorithm + '|' + CanonicalOptionsString(keyed);
+}
+
+/// The label-tier key within one solution entry. The halo flag is not
+/// part of it: halo derivation happens downstream of labels and never
+/// changes them.
+inline std::string MakeThresholdKey(const ThresholdSpec& spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g|%.17g", spec.rho_min, spec.delta_min);
+  return buf;
+}
+
+class SolutionCache {
+ public:
+  struct Stats {
+    uint64_t solution_hits = 0;    ///< compute-tier hits (Lookup/Finalize)
+    uint64_t solution_misses = 0;  ///< compute-tier misses
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t label_hits = 0;   ///< Finalize served an existing labeling
+    uint64_t finalizations = 0;  ///< Finalize ran LabelSolution (O(n))
+  };
+
+  /// capacity is in solutions; 0 disables the cache (every Lookup misses,
+  /// Insert is a no-op). labelings_per_solution bounds each entry's label
+  /// memo (LRU within the entry) — each memoized DpcResult carries its
+  /// own copies of rho/delta/dependency (the response contract), so this
+  /// bound is the per-solution memory multiplier; byte-budgeted capacity
+  /// is a ROADMAP follow-on.
+  explicit SolutionCache(size_t capacity, size_t labelings_per_solution = 16)
+      : capacity_(capacity),
+        labelings_per_solution_(labelings_per_solution > 0
+                                    ? labelings_per_solution
+                                    : 1) {}
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  /// The cached solution for key, refreshing its eviction credit; null on
+  /// miss. For label-bearing reads prefer Finalize (one lock, memoized).
+  std::shared_ptr<const DpcSolution> Lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* entry = Touch(key);
+    return entry != nullptr ? entry->solution : nullptr;
+  }
+
+  /// Two-tier read: the finalized result for (key, spec), or null when
+  /// the solution tier misses. A solution hit with a label-tier miss runs
+  /// the O(n) finalize — never the algorithm — OUTSIDE the cache lock
+  /// (a large-solution labeling must not convoy every other client on
+  /// mu_), then memoizes under a double-checked re-lock so identical
+  /// thresholds alias one immutable DpcResult.
+  std::shared_ptr<const DpcResult> Finalize(const std::string& key,
+                                            const ThresholdSpec& spec) {
+    const std::string threshold_key = MakeThresholdKey(spec);
+    std::shared_ptr<const DpcSolution> solution;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Entry* entry = Touch(key);
+      if (entry == nullptr) return nullptr;
+      if (auto memo = FindLabeling(entry, threshold_key)) {
+        ++stats_.label_hits;
+        return memo;
+      }
+      solution = entry->solution;  // keeps the artifact alive unlocked
+    }
+    auto result =
+        std::make_shared<const DpcResult>(FinalizeSolution(*solution, spec));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.finalizations;
+    const auto it = index_.find(key);
+    if (it == index_.end() || it->second.solution != solution) {
+      // Evicted or replaced while labeling: the result is still correct
+      // for the solution we read, just not memoizable against the key.
+      return result;
+    }
+    if (auto memo = FindLabeling(&it->second, threshold_key)) {
+      // Raced with another finalizer: alias the first-memoized result so
+      // repeated thresholds stay pointer-identical.
+      return memo;
+    }
+    it->second.labelings.emplace_front(threshold_key, result);
+    if (it->second.labelings.size() > labelings_per_solution_) {
+      it->second.labelings.pop_back();
+    }
+    return result;
+  }
+
+  /// Caches the solution under key with the given eviction cost
+  /// (typically DpcSolution::compute_cost_seconds), evicting the
+  /// minimum-credit entry when full. Re-inserting an existing key
+  /// refreshes its value, cost, and credit, and drops its stale label
+  /// memo.
+  void Insert(const std::string& key,
+              std::shared_ptr<const DpcSolution> solution, double cost) {
+    if (!enabled()) return;
+    if (cost < 0.0) cost = 0.0;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      Entry& entry = it->second;
+      entry.solution = std::move(solution);
+      entry.cost = cost;
+      entry.credit = inflation_ + cost;
+      entry.touch_seq = ++seq_;
+      entry.labelings.clear();
+      return;
+    }
+    if (index_.size() >= capacity_) EvictOne();
+    Entry entry;
+    entry.solution = std::move(solution);
+    entry.cost = cost;
+    entry.credit = inflation_ + cost;
+    entry.touch_seq = ++seq_;
+    index_.emplace(key, std::move(entry));
+    ++stats_.insertions;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    inflation_ = 0.0;
+    seq_ = 0;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Keys in eviction order — the next victim first (ascending credit,
+  /// ties oldest-touch first). Tests assert eviction determinism against
+  /// this order.
+  std::vector<std::string> KeysByEvictionOrder() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<const std::string*, const Entry*>> entries;
+    entries.reserve(index_.size());
+    for (const auto& [key, entry] : index_) entries.push_back({&key, &entry});
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second->credit != b.second->credit) {
+                  return a.second->credit < b.second->credit;
+                }
+                return a.second->touch_seq < b.second->touch_seq;
+              });
+    std::vector<std::string> keys;
+    keys.reserve(entries.size());
+    for (const auto& [key, entry] : entries) keys.push_back(*key);
+    return keys;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DpcSolution> solution;
+    double cost = 0.0;    ///< compute cost backing the credit refreshes
+    double credit = 0.0;  ///< GreedyDual credit: inflation at touch + cost
+    uint64_t touch_seq = 0;  ///< recency, the deterministic tie-break
+    /// Label memo, most recently used first, bounded by
+    /// labelings_per_solution_.
+    std::list<std::pair<std::string, std::shared_ptr<const DpcResult>>>
+        labelings;
+  };
+
+  /// The memoized labeling for threshold_key (refreshed to most recent),
+  /// or null. Caller holds mu_.
+  std::shared_ptr<const DpcResult> FindLabeling(
+      Entry* entry, const std::string& threshold_key) {
+    for (auto it = entry->labelings.begin(); it != entry->labelings.end();
+         ++it) {
+      if (it->first == threshold_key) {
+        entry->labelings.splice(entry->labelings.begin(), entry->labelings,
+                                it);  // most recent first
+        return entry->labelings.front().second;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Looks up and, on a hit, refreshes credit/recency; counts the stats.
+  /// Caller holds mu_.
+  Entry* Touch(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      if (enabled()) ++stats_.solution_misses;
+      return nullptr;
+    }
+    it->second.credit = inflation_ + it->second.cost;
+    it->second.touch_seq = ++seq_;
+    ++stats_.solution_hits;
+    return &it->second;
+  }
+
+  /// Removes the minimum-credit entry (oldest touch on ties) and raises
+  /// the inflation level to its credit — the GreedyDual aging step that
+  /// lets cheap-but-hot traffic eventually displace an expensive cold
+  /// entry. Caller holds mu_.
+  void EvictOne() {
+    auto victim = index_.begin();
+    for (auto it = std::next(index_.begin()); it != index_.end(); ++it) {
+      const Entry& a = it->second;
+      const Entry& b = victim->second;
+      if (a.credit < b.credit ||
+          (a.credit == b.credit && a.touch_seq < b.touch_seq)) {
+        victim = it;
+      }
+    }
+    inflation_ = victim->second.credit;
+    index_.erase(victim);
+    ++stats_.evictions;
+  }
+
+  const size_t capacity_;
+  const size_t labelings_per_solution_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> index_;
+  double inflation_ = 0.0;  ///< GreedyDual "L": credit of the last victim
+  uint64_t seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dpc::serve
+
+#endif  // DPC_SERVE_SOLUTION_CACHE_H_

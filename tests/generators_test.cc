@@ -1,8 +1,11 @@
 // data/generators.h contract: cardinality, dimensionality, domain bounds,
-// noise-rate bounds, ground-truth consistency, and seed (in)equality.
+// noise-rate bounds, ground-truth consistency, seed (in)equality, and the
+// real-like stand-ins clustering non-degenerately at their papers'
+// default d_cut.
 #include <cstdio>
 #include <vector>
 
+#include "core/approx_dpc.h"
 #include "data/generators.h"
 #include "data/real_like.h"
 #include "tests/test_util.h"
@@ -71,6 +74,27 @@ int main() {
   CHECK_EQ(feed.size(), 3000);
   CHECK_EQ(feed.dim(), 8);
   CHECK(feed.raw() == dpc::data::MakeRealLike(sensor, 3000).raw());
+
+  // The Sensor-like stand-in must cluster NON-degenerately at the
+  // paper's default d_cut (5000): enough within-d_cut neighbors that a
+  // modest rho_min keeps most points, and several of the 20 planted
+  // modes recovered. (This regressed to "everything is noise" before the
+  // spread was rescaled for chi^2_dim concentration — see real_like.h.)
+  {
+    dpc::DpcParams params;
+    params.d_cut = sensor.default_d_cut;
+    params.rho_min = 4.0;
+    params.delta_min = 5.0 * sensor.default_d_cut;
+    dpc::ApproxDpc algo;
+    const dpc::DpcResult result = algo.Run(feed, params);
+    CHECK(result.num_clusters() >= 4);
+    CHECK(result.num_clusters() <= 40);
+    int64_t noise = 0;
+    for (dpc::PointId i = 0; i < feed.size(); ++i) {
+      if (result.is_noise(i)) ++noise;
+    }
+    CHECK(noise < feed.size() / 2);
+  }
 
   // Bernoulli subsampling is deterministic and approximately sized.
   const dpc::PointSet half = points.Sample(0.5, 77);

@@ -6,8 +6,10 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "baselines/scan_dpc.h"
 #include "core/ex_dpc.h"
 #include "data/generators.h"
 #include "parallel/execution_context.h"
@@ -193,6 +195,64 @@ int main() {
     const dpc::DpcResult ok = algo.Run(points, params, dpc::ExecutionContext(2));
     CHECK(!ok.stats.interrupted);
     CHECK(ok.num_clusters() > 0);
+  }
+
+  // Quadratic-baseline cancellation latency: Scan's O(n) per-index work
+  // polls ShouldStop INSIDE the inner distance loop (every
+  // ~kDistanceEvalsPerPoll evaluations), so a cancel mid-phase returns
+  // long before the old worst case — the remainder of one 1024-index
+  // outer slice. Self-calibrating: the bound is measured on this
+  // machine/build, so it holds under sanitizers and debug builds alike.
+  {
+    const dpc::PointId n = 20000;
+    dpc::data::GaussianBenchmarkParams gen;
+    gen.num_points = n;
+    gen.num_clusters = 5;
+    gen.seed = 23;
+    const dpc::PointSet points = dpc::data::GaussianBenchmark(gen);
+    const int dim = points.dim();
+
+    // Calibrate one old-granularity slice: 1024 outer indices x n inner
+    // distance evaluations (what cancellation used to wait out).
+    double slice_seconds = 0.0;
+    {
+      const auto begin = std::chrono::steady_clock::now();
+      double sink = 0.0;
+      for (dpc::PointId i = 0; i < 1024; ++i) {
+        for (dpc::PointId j = 0; j < n; ++j) {
+          sink += dpc::SquaredDistance(points[i], points[j], dim);
+        }
+      }
+      slice_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count();
+      CHECK(sink > 0.0);  // keep the calibration loop un-elidable
+    }
+
+    dpc::DpcParams params;
+    params.d_cut = 2000.0;
+    params.rho_min = 2.0;
+    params.delta_min = 9000.0;
+    const dpc::ExecutionContext ctx(1);  // serial: one thread, 1024-slices
+    dpc::ScanDpc algo;
+    dpc::DpcResult result;
+    std::thread worker(
+        [&] { result = algo.Run(points, params, ctx); });
+    // Cancel early in the first slice; the run must come back within a
+    // fraction of a slice, not after finishing it.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(slice_seconds * 0.1));
+    const auto cancelled_at = std::chrono::steady_clock::now();
+    ctx.RequestCancel();
+    worker.join();
+    const double overshoot =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cancelled_at)
+            .count();
+    CHECK(result.stats.interrupted);
+    for (const int64_t label : result.label) CHECK_EQ(label, dpc::kUnassigned);
+    CHECK(overshoot < slice_seconds * 0.5);
   }
 
   std::printf("parallel_test OK\n");

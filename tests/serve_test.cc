@@ -1,23 +1,27 @@
-// The serve/ subsystem: dataset fingerprint stability, result-cache
-// hit/miss + deterministic LRU eviction, cache-key canonicalization,
-// admission-queue priority order, end-to-end serving (responses
-// bit-identical to direct Run), mixed-deadline batches, error paths, and
-// concurrent submissions (the TSan CI job runs this binary).
+// The serve/ subsystem: dataset fingerprint stability, the two-tier
+// SolutionCache (solution-tier keying, cost-scaled eviction determinism,
+// label memoization), admission-queue priority order, end-to-end serving
+// (responses bit-identical to direct Run), the re-threshold /
+// decision-graph fast path (zero recompute, asserted via server stats),
+// mixed-deadline batches, error paths, and concurrent submissions (the
+// TSan CI job runs this binary).
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/decision_graph.h"
 #include "core/registry.h"
 #include "data/generators.h"
 #include "serve/dataset_registry.h"
 #include "serve/request.h"
-#include "serve/result_cache.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
+#include "serve/solution_cache.h"
 #include "tests/test_util.h"
 
 namespace {
@@ -43,8 +47,9 @@ void TestFingerprintAndRegistry() {
 
   // Content-determined: same bytes -> same fingerprint, including via a
   // copy registered under another name; any coordinate change diverges.
+  // (FingerprintPoints lives in core now; the serve alias must resolve.)
   const uint64_t fp = dpc::serve::FingerprintPoints(points);
-  CHECK_EQ(dpc::serve::FingerprintPoints(points), fp);
+  CHECK_EQ(dpc::FingerprintPoints(points), fp);
   dpc::PointSet perturbed = points;
   perturbed.MutablePoint(0)[0] += 1.0;
   CHECK(dpc::serve::FingerprintPoints(perturbed) != fp);
@@ -79,76 +84,158 @@ void TestFingerprintAndRegistry() {
   CHECK_EQ(registry.size(), 1u);
 }
 
-void TestResultCache() {
-  auto result_with_clusters = [](int64_t k) {
-    auto r = std::make_shared<dpc::DpcResult>();
-    r->centers.assign(static_cast<size_t>(k), dpc::PointId{0});
-    return std::shared_ptr<const dpc::DpcResult>(std::move(r));
-  };
+/// A tiny hand-built solution whose labels depend on the threshold:
+///   rho   = {5, 4, 3, 1}
+///   delta = {inf, 10, 2, 1}, dependency = {-1, 0, 1, 2}
+/// (rho_min=2, delta_min=5)  -> labels {0, 1, 1, noise}
+/// (rho_min=2, delta_min=20) -> labels {0, 0, 0, noise}
+std::shared_ptr<const dpc::DpcSolution> TinySolution() {
+  auto s = std::make_shared<dpc::DpcSolution>();
+  s->algorithm = "test";
+  s->rho = {5.0, 4.0, 3.0, 1.0};
+  s->delta = {std::numeric_limits<double>::infinity(), 10.0, 2.0, 1.0};
+  s->dependency = {-1, 0, 1, 2};
+  s->density_order = dpc::DensityOrder(s->rho);
+  return s;
+}
 
-  dpc::serve::ResultCache cache(2);
+dpc::ThresholdSpec Spec(double rho_min, double delta_min) {
+  dpc::ThresholdSpec spec;
+  spec.rho_min = rho_min;
+  spec.delta_min = delta_min;
+  return spec;
+}
+
+void TestSolutionCacheTwoTier() {
+  dpc::serve::SolutionCache cache(4);
   CHECK(cache.enabled());
   CHECK(cache.Lookup("a") == nullptr);
-  cache.Insert("a", result_with_clusters(1));
-  cache.Insert("b", result_with_clusters(2));
-  CHECK_EQ(cache.size(), 2u);
+  CHECK(cache.Finalize("a", Spec(2.0, 5.0)) == nullptr);
 
-  // Touching "a" makes "b" the LRU victim of the next insert —
-  // deterministic eviction order.
+  cache.Insert("a", TinySolution(), 1.0);
   CHECK(cache.Lookup("a") != nullptr);
-  cache.Insert("c", result_with_clusters(3));
-  CHECK(cache.Lookup("b") == nullptr);
-  CHECK_EQ(cache.Lookup("a")->num_clusters(), 1);
-  CHECK_EQ(cache.Lookup("c")->num_clusters(), 3);
-  CHECK(cache.KeysByRecency() == (std::vector<std::string>{"c", "a"}));
 
-  // Re-insert refreshes value and recency without growing.
-  cache.Insert("a", result_with_clusters(4));
-  CHECK_EQ(cache.size(), 2u);
-  CHECK_EQ(cache.Lookup("a")->num_clusters(), 4);
+  // Label tier: first Finalize computes, the second aliases the SAME
+  // immutable result; a different threshold labels differently.
+  const auto r1 = cache.Finalize("a", Spec(2.0, 5.0));
+  CHECK(r1 != nullptr);
+  CHECK(r1->label == (std::vector<int64_t>{0, 1, 1, dpc::kNoise}));
+  CHECK(r1->centers == (std::vector<dpc::PointId>{0, 1}));
+  const auto r2 = cache.Finalize("a", Spec(2.0, 5.0));
+  CHECK(r2.get() == r1.get());
+  const auto r3 = cache.Finalize("a", Spec(2.0, 20.0));
+  CHECK(r3->label == (std::vector<int64_t>{0, 0, 0, dpc::kNoise}));
+  CHECK_EQ(r3->num_clusters(), 1);
 
   const auto stats = cache.stats();
-  CHECK_EQ(stats.evictions, 1u);
-  CHECK_EQ(stats.misses, 2u);  // initial "a", evicted "b"
+  CHECK_EQ(stats.finalizations, 2u);
+  CHECK_EQ(stats.label_hits, 1u);
+
+  // Re-inserting a key drops its stale label memo.
+  cache.Insert("a", TinySolution(), 1.0);
+  const auto r4 = cache.Finalize("a", Spec(2.0, 5.0));
+  CHECK(r4.get() != r1.get());
+  CHECK(r4->label == r1->label);
+
+  // The per-entry memo is bounded: with a bound of 2, sweeping 3
+  // thresholds evicts the least recently used labeling.
+  dpc::serve::SolutionCache bounded(2, 2);
+  bounded.Insert("a", TinySolution(), 1.0);
+  (void)bounded.Finalize("a", Spec(2.0, 5.0));
+  (void)bounded.Finalize("a", Spec(2.0, 20.0));
+  (void)bounded.Finalize("a", Spec(2.0, 30.0));  // evicts the 5.0 memo
+  (void)bounded.Finalize("a", Spec(2.0, 5.0));   // recomputed
+  CHECK_EQ(bounded.stats().finalizations, 4u);
 
   // Capacity 0 disables caching entirely.
-  dpc::serve::ResultCache off(0);
+  dpc::serve::SolutionCache off(0);
   CHECK(!off.enabled());
-  off.Insert("a", result_with_clusters(1));
+  off.Insert("a", TinySolution(), 1.0);
   CHECK(off.Lookup("a") == nullptr);
   CHECK_EQ(off.size(), 0u);
 }
 
-void TestCacheKey() {
-  const dpc::DpcParams params = TestParams();
+void TestSolutionCacheCostAwareEviction() {
+  // GreedyDual (cost-scaled LRU): an expensive solution outlives many
+  // cheap ones, but inflation eventually ages it out. The whole sequence
+  // is deterministic.
+  dpc::serve::SolutionCache cache(2);
+  cache.Insert("expensive", TinySolution(), 10.0);
+  cache.Insert("cheap1", TinySolution(), 1.0);
+  // Plain LRU would evict "expensive" (least recently used); cost-scaled
+  // eviction picks the low-credit "cheap1" instead.
+  cache.Insert("cheap2", TinySolution(), 1.0);
+  CHECK(cache.KeysByEvictionOrder() ==
+        (std::vector<std::string>{"cheap2", "expensive"}));
+  cache.Insert("cheap3", TinySolution(), 1.0);  // evicts cheap2 (credit 2)
+  CHECK(cache.KeysByEvictionOrder() ==
+        (std::vector<std::string>{"cheap3", "expensive"}));
+  CHECK_EQ(cache.stats().evictions, 2u);
+
+  // Aging: with each eviction the inflation level rises by the victim's
+  // credit, so a stream of cheap solutions eventually displaces the
+  // expensive one. Credits go 4, 5, ..., 10; the tie at 10 breaks toward
+  // the older entry — "expensive" — on the 8th insert.
+  for (int i = 0; i < 8; ++i) {
+    cache.Insert("stream" + std::to_string(i), TinySolution(), 1.0);
+  }
+  CHECK(cache.Lookup("expensive") == nullptr);
+
+  // A hit refreshes the credit: after touching, the expensive entry is
+  // again the last to go.
+  dpc::serve::SolutionCache touchy(2);
+  touchy.Insert("expensive", TinySolution(), 10.0);
+  touchy.Insert("cheap1", TinySolution(), 1.0);
+  CHECK(touchy.Lookup("expensive") != nullptr);
+  touchy.Insert("cheap2", TinySolution(), 1.0);
+  CHECK(touchy.Lookup("expensive") != nullptr);
+  CHECK(touchy.Lookup("cheap1") == nullptr);
+}
+
+void TestSolutionKey() {
+  const dpc::ComputeParams compute = TestParams().compute();
   // Differently spelled but semantically identical options -> one key.
   dpc::OptionsMap spelled_a{{"num_tables", "08"}, {"bucket_width_factor", "0.50"}};
   dpc::OptionsMap spelled_b{{"bucket_width_factor", "5e-1"}, {"num_tables", "8"}};
-  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, params) ==
-        dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_b, params));
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", spelled_a, compute) ==
+        dpc::serve::MakeSolutionKey(1, "lsh-ddp", spelled_b, compute));
 
   // Every key component discriminates.
   const std::string base =
-      dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, params);
-  CHECK(dpc::serve::MakeCacheKey(2, "lsh-ddp", spelled_a, params) != base);
-  CHECK(dpc::serve::MakeCacheKey(1, "ex-dpc", spelled_a, params) != base);
-  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", {}, params) != base);
-  dpc::DpcParams other = params;
+      dpc::serve::MakeSolutionKey(1, "lsh-ddp", spelled_a, compute);
+  CHECK(dpc::serve::MakeSolutionKey(2, "lsh-ddp", spelled_a, compute) != base);
+  CHECK(dpc::serve::MakeSolutionKey(1, "ex-dpc", spelled_a, compute) != base);
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", {}, compute) != base);
+  dpc::ComputeParams other = compute;
   other.d_cut *= 2.0;
-  other.delta_min *= 2.0;
-  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, other) != base);
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", spelled_a, other) != base);
+  dpc::ComputeParams eps = compute;
+  eps.epsilon *= 2.0;
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", spelled_a, eps) != base);
+
+  // Threshold knobs are NOT part of the solution key — that is the whole
+  // point of the two-tier split: one solution answers every threshold.
+  dpc::DpcParams rethresholded = TestParams();
+  rethresholded.rho_min = 99.0;
+  rethresholded.delta_min = 9000.0;
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", spelled_a,
+                                    rethresholded.compute()) == base);
 
   // Execution policy is NOT part of the key (labels are thread-count and
-  // strategy independent by the determinism contract): neither the
-  // deprecated num_threads nor the "scheduler" option discriminates.
-  dpc::DpcParams threaded = params;
-  threaded.num_threads = 7;
-  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", spelled_a, threaded) == base);
+  // strategy independent by the determinism contract).
   dpc::OptionsMap with_scheduler = spelled_a;
   with_scheduler["scheduler"] = "static";
-  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", with_scheduler, params) == base);
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", with_scheduler, compute) ==
+        base);
   with_scheduler["scheduler"] = "lpt";
-  CHECK(dpc::serve::MakeCacheKey(1, "lsh-ddp", with_scheduler, params) == base);
+  CHECK(dpc::serve::MakeSolutionKey(1, "lsh-ddp", with_scheduler, compute) ==
+        base);
+
+  // Threshold keys canonicalize spelling-equal values too.
+  CHECK(dpc::serve::MakeThresholdKey(Spec(2.0, 5.0)) ==
+        dpc::serve::MakeThresholdKey(Spec(2.0, 5.0)));
+  CHECK(dpc::serve::MakeThresholdKey(Spec(2.0, 5.0)) !=
+        dpc::serve::MakeThresholdKey(Spec(2.0, 6.0)));
 }
 
 void TestAdmissionQueuePriority() {
@@ -218,8 +305,22 @@ void TestServerEndToEnd() {
   CHECK(first.result->centers == direct.centers);
   CHECK(first.result->dependency == direct.dependency);
 
-  // A different configuration evicts the capacity-1 cache; the original
-  // then recomputes (deterministically the same labels).
+  // THE TWO-TIER PAYOFF: same compute configuration, new thresholds ->
+  // still a cache hit (finalize-only, zero algorithm work), labels
+  // bit-identical to a fresh Run at those thresholds.
+  const uint64_t recomputes_before = server.stats().recomputes;
+  dpc::serve::ClusterRequest rethresholded = request;
+  rethresholded.params.rho_min = 5.0;
+  rethresholded.params.delta_min = 3.0 * params.d_cut;
+  const auto r = server.Submit(rethresholded).get();
+  CHECK(r.status.ok());
+  CHECK(r.cache_hit);
+  CHECK_EQ(server.stats().recomputes, recomputes_before);
+  CHECK(r.result->label ==
+        algo.value()->Run(points, rethresholded.params).label);
+
+  // A different COMPUTE configuration evicts the capacity-1 cache; the
+  // original then recomputes (deterministically the same labels).
   dpc::serve::ClusterRequest other = request;
   other.params.d_cut *= 1.5;
   other.params.delta_min *= 1.5;
@@ -236,10 +337,86 @@ void TestServerEndToEnd() {
   CHECK(server.Submit(threaded).get().cache_hit);
 
   const auto stats = server.stats();
-  CHECK_EQ(stats.submitted, 5u);
-  CHECK_EQ(stats.completed, 5u);
-  CHECK_EQ(stats.cache_hits, 2u);
+  CHECK_EQ(stats.submitted, 6u);
+  CHECK_EQ(stats.completed, 6u);
+  CHECK_EQ(stats.cache_hits, 3u);
+  CHECK_EQ(stats.recomputes, 3u);
   CHECK_EQ(stats.errors, 0u);
+}
+
+void TestRethresholdAndGraphRequests() {
+  const dpc::PointSet points = TestPoints();
+  const dpc::DpcParams params = TestParams();
+
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  dpc::serve::ClusterRequest warmup;
+  warmup.dataset = "pts";
+  warmup.algorithm = "ex-dpc";
+  warmup.params = params;
+
+  // Cold cache: the threshold-only kinds refuse to compute.
+  dpc::serve::ClusterRequest cold = warmup;
+  cold.kind = dpc::serve::RequestKind::kRethreshold;
+  CHECK(server.Submit(cold).get().status.code() ==
+        dpc::StatusCode::kNotFound);
+  CHECK_EQ(server.stats().recomputes, 0u);
+
+  // Warm the solution tier with one real run.
+  CHECK(server.Submit(warmup).get().status.ok());
+  const uint64_t recomputes = server.stats().recomputes;
+  CHECK_EQ(recomputes, 1u);
+
+  // Re-threshold: answered synchronously from the cached solution — the
+  // recompute counter NEVER moves, and labels match a fresh direct Run.
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  for (const double delta_min : {3000.0, 5000.0, 12000.0}) {
+    dpc::serve::ClusterRequest re = warmup;
+    re.kind = dpc::serve::RequestKind::kRethreshold;
+    re.params.delta_min = delta_min;
+    re.params.rho_min = 3.0;
+    const auto response = server.Submit(re).get();
+    CHECK(response.status.ok());
+    CHECK(response.cache_hit);
+    CHECK_EQ(response.run_seconds, 0.0);
+    CHECK(response.result->label == algo.value()->Run(points, re.params).label);
+  }
+  CHECK_EQ(server.stats().recomputes, recomputes);
+  CHECK_EQ(server.stats().rethreshold_served, 3u);
+
+  // Graph: the top-k gamma ranking of the cached solution, identical to
+  // computing it directly from a fresh run's rho/delta.
+  dpc::serve::ClusterRequest graph = warmup;
+  graph.kind = dpc::serve::RequestKind::kGraph;
+  graph.graph_top_k = 5;
+  const auto g = server.Submit(graph).get();
+  CHECK(g.status.ok());
+  CHECK(g.cache_hit);
+  CHECK_EQ(g.graph.size(), 5u);
+  const dpc::DpcResult direct = algo.value()->Run(points, params);
+  const auto expected = dpc::TopGammaPoints(direct.rho, direct.delta, 5);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    CHECK_EQ(g.graph[i].id, expected[i].id);
+    CHECK_EQ(g.graph[i].gamma, expected[i].gamma);
+  }
+  // Gamma ranks descending.
+  for (size_t i = 1; i < g.graph.size(); ++i) {
+    CHECK(g.graph[i - 1].gamma >= g.graph[i].gamma);
+  }
+  CHECK_EQ(server.stats().recomputes, recomputes);
+
+  // Unknown dataset / bad top_k fail cleanly without computing.
+  dpc::serve::ClusterRequest bad = graph;
+  bad.dataset = "nope";
+  CHECK(server.Submit(bad).get().status.code() == dpc::StatusCode::kNotFound);
+  dpc::serve::ClusterRequest bad_k = graph;
+  bad_k.graph_top_k = 0;
+  CHECK(server.Submit(bad_k).get().status.code() ==
+        dpc::StatusCode::kInvalidArgument);
+  CHECK_EQ(server.stats().recomputes, recomputes);
 }
 
 void TestMixedDeadlineBatch() {
@@ -321,7 +498,8 @@ void TestErrorPaths() {
 
   // Options validate before the cache is consulted: a spelling the
   // reader rejects ("1e1" for an int) must fail even when a valid
-  // spelling of the same canonical config already warmed the cache.
+  // spelling of the same canonical config already warmed the cache —
+  // on the queued path AND the submit-time rethreshold path.
   dpc::serve::ClusterRequest lsh = request;
   lsh.algorithm = "lsh-ddp";
   lsh.options["num_tables"] = "10";
@@ -330,6 +508,10 @@ void TestErrorPaths() {
   lsh_bad.options["num_tables"] = "1e1";
   CHECK(server.Submit(lsh_bad).get().status.code() ==
         dpc::StatusCode::kInvalidArgument);
+  dpc::serve::ClusterRequest lsh_bad_re = lsh_bad;
+  lsh_bad_re.kind = dpc::serve::RequestKind::kRethreshold;
+  CHECK(server.Submit(lsh_bad_re).get().status.code() ==
+        dpc::StatusCode::kInvalidArgument);
 
   // Requests already admitted still complete across Shutdown; later
   // submissions are rejected as cancelled.
@@ -337,6 +519,12 @@ void TestErrorPaths() {
   server.Shutdown();
   CHECK(inflight.get().status.ok());
   CHECK(server.Submit(request).get().status.code() ==
+        dpc::StatusCode::kCancelled);
+  // The synchronous cache-only kinds honor the shutdown contract too —
+  // even though the cache is warm enough to answer.
+  dpc::serve::ClusterRequest re_after = request;
+  re_after.kind = dpc::serve::RequestKind::kRethreshold;
+  CHECK(server.Submit(re_after).get().status.code() ==
         dpc::StatusCode::kCancelled);
 }
 
@@ -349,9 +537,13 @@ void TestConcurrentSubmissions() {
   dpc::serve::ClusterServer server(options);
   server.datasets().Register("pts", points);
 
-  // Expected labels per config, computed directly.
-  const std::vector<dpc::DpcParams> configs = {TestParams(2000.0),
-                                               TestParams(2500.0)};
+  // Expected labels per config, computed directly. The two configs share
+  // d_cut (one compute key!) and differ only in thresholds, so the
+  // concurrent clients also hammer the label-memo tier.
+  std::vector<dpc::DpcParams> configs = {TestParams(2000.0),
+                                         TestParams(2000.0)};
+  configs[1].rho_min = 5.0;
+  configs[1].delta_min = 6000.0;
   auto algo = dpc::MakeAlgorithmByName("ex-dpc");
   std::vector<std::vector<int64_t>> expected;
   for (const auto& params : configs) {
@@ -384,8 +576,8 @@ void TestConcurrentSubmissions() {
   const auto stats = server.stats();
   CHECK_EQ(stats.submitted, static_cast<uint64_t>(kClients * kPerClient));
   CHECK_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
-  // 2 distinct configurations -> at most 2 real computations... unless a
-  // burst races past the first insert; either way hits dominate.
+  // One compute configuration -> at most a couple of real computations
+  // (a burst can race past the first insert); hits dominate.
   CHECK(stats.cache_hits >= static_cast<uint64_t>(kClients * kPerClient - 2));
   CHECK_EQ(stats.errors, 0u);
 }
@@ -394,10 +586,12 @@ void TestConcurrentSubmissions() {
 
 int main() {
   TestFingerprintAndRegistry();
-  TestResultCache();
-  TestCacheKey();
+  TestSolutionCacheTwoTier();
+  TestSolutionCacheCostAwareEviction();
+  TestSolutionKey();
   TestAdmissionQueuePriority();
   TestServerEndToEnd();
+  TestRethresholdAndGraphRequests();
   TestMixedDeadlineBatch();
   TestErrorPaths();
   TestConcurrentSubmissions();
