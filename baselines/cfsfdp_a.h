@@ -20,8 +20,10 @@
 
 #include "baselines/scan_dpc.h"
 #include "core/dpc.h"
+#include "core/kernels.h"
 #include "core/options.h"
 #include "core/rng.h"
+#include "core/soa.h"
 #include "parallel/parallel_for.h"
 
 namespace dpc {
@@ -65,7 +67,6 @@ class CfsfdpA : public DpcAlgorithm {
 
     DpcSolution result;
     const PointId n = points.size();
-    const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
     result.delta.assign(static_cast<size_t>(n),
                         std::numeric_limits<double>::infinity());
@@ -83,15 +84,24 @@ class CfsfdpA : public DpcAlgorithm {
         sample.push_back(j);
       }
     }
+    // Transposed views for the batched kernels: the sample in draw order
+    // for the density pass, the full set for the dependent pass.
+    const PointId m = static_cast<PointId>(sample.size());
+    PointSetSoA sample_soa;
+    sample_soa.Assign(points, sample.data(), m, /*store_ids=*/false);
+    const PointSetSoA soa(points);
     result.stats.build_seconds = phase.Lap();
-    result.stats.index_memory_bytes = sample.capacity() * sizeof(PointId);
+    result.stats.index_memory_bytes = sample.capacity() * sizeof(PointId) +
+                                      sample_soa.MemoryBytes() +
+                                      soa.MemoryBytes();
 
     // rho: scaled count of sampled neighbors (self excluded when sampled).
     // The inner scan is quadratic-family work (O(|sample|) per index), so
     // it polls ShouldStop every ~kDistanceEvalsPerPoll evaluations like
-    // the Scan loops — see baselines/scan_dpc.h.
+    // the Scan loops — see baselines/scan_dpc.h. The batch counts the
+    // self-hit whenever i itself was sampled (distance 0), which the
+    // same Bernoulli coin that built the sample detects in O(1).
     const double r_sq = compute.d_cut * compute.d_cut;
-    const PointId m = static_cast<PointId>(sample.size());
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
         PointId count = 0;
@@ -99,13 +109,12 @@ class CfsfdpA : public DpcAlgorithm {
           if (exec.ShouldStop()) return;
           const PointId k_end =
               std::min(k0 + internal::kDistanceEvalsPerPoll, m);
-          for (PointId k = k0; k < k_end; ++k) {
-            const PointId j = sample[static_cast<size_t>(k)];
-            if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
-              ++count;
-            }
-          }
+          count += kernels::RangeCountBatch(sample_soa, k0, k_end - k0,
+                                            points[i], r_sq);
         }
+        const bool self_sampled =
+            HashToUnit(seed, static_cast<uint64_t>(i)) < sample_rate;
+        if (self_sampled) --count;
         result.rho[static_cast<size_t>(i)] =
             static_cast<double>(count) / sample_rate;
       }
@@ -116,7 +125,7 @@ class CfsfdpA : public DpcAlgorithm {
       return result;
     }
 
-    internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
+    internal::QuadraticDeltas(points, soa, result.rho, exec, &result.delta,
                               &result.dependency);
     result.stats.delta_seconds = phase.Lap();
     internal::Interrupted(exec, &result);

@@ -24,6 +24,7 @@
 
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
+#include "core/kernels.h"
 #include "core/options.h"
 #include "index/kdtree.h"
 #include "index/lsh.h"
@@ -74,7 +75,6 @@ class LshDdp : public DpcAlgorithm {
 
     DpcSolution result;
     const PointId n = points.size();
-    const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
     result.delta.assign(static_cast<size_t>(n),
                         std::numeric_limits<double>::infinity());
@@ -98,22 +98,35 @@ class LshDdp : public DpcAlgorithm {
     // ParallelForStaticChunks (exactly one callback per thread chunk) and
     // polls the stop state itself instead of relying on ParallelFor's
     // sub-slice polling.
+    // Bucket members are scattered ids, so the batch primitive here is
+    // the row-major gather kernel: dedup the union into a scratch id
+    // array, then one SquaredDistanceGather + count sweep per point.
     const double r_sq = compute.d_cut * compute.d_cut;
     ParallelForStaticChunks(exec, n, [&](PointId begin, PointId end) {
       std::vector<PointId> last_query(static_cast<size_t>(n), PointId{-1});
+      std::vector<PointId> cand;
+      std::vector<double> d_sq;
       int64_t until_poll = internal::kStopCheckStride;
       for (PointId i = begin; i < end; ++i) {
         if (--until_poll <= 0) {
           if (exec.ShouldStop()) return;
           until_poll = internal::kStopCheckStride;
         }
-        PointId count = 0;
+        cand.clear();
         for (int t = 0; t < lsh.num_tables(); ++t) {
           for (const PointId j : lsh.Bucket(t, i)) {
             if (j == i || last_query[static_cast<size_t>(j)] == i) continue;
             last_query[static_cast<size_t>(j)] = i;
-            if (SquaredDistance(points[i], points[j], dim) <= r_sq) ++count;
+            cand.push_back(j);
           }
+        }
+        const PointId len = static_cast<PointId>(cand.size());
+        d_sq.resize(cand.size());
+        kernels::SquaredDistanceGather(points, cand.data(), len, points[i],
+                                       d_sq.data());
+        PointId count = 0;
+        for (PointId k = 0; k < len; ++k) {
+          if (d_sq[static_cast<size_t>(k)] <= r_sq) ++count;
         }
         result.rho[static_cast<size_t>(i)] = static_cast<double>(count);
       }
@@ -127,21 +140,31 @@ class LshDdp : public DpcAlgorithm {
     // Local delta; collect local maxima for the exact refinement round.
     std::vector<uint8_t> needs_refine(static_cast<size_t>(n), 0);
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
+      std::vector<PointId> cand;
+      std::vector<double> d_sq;
       for (PointId i = begin; i < end; ++i) {
         const double rho_i = result.rho[static_cast<size_t>(i)];
-        double best_sq = std::numeric_limits<double>::infinity();
-        PointId best = -1;
-        // min() is duplicate-tolerant, so no dedup pass is needed here.
+        // min() is duplicate-tolerant, so no dedup pass is needed here;
+        // gather the denser candidates in table/bucket order and scan
+        // with strict '<' — the same winner as the former fused loop.
+        cand.clear();
         for (int t = 0; t < lsh.num_tables(); ++t) {
           for (const PointId j : lsh.Bucket(t, i)) {
-            if (!DenserThan(result.rho[static_cast<size_t>(j)], j, rho_i, i)) {
-              continue;
+            if (DenserThan(result.rho[static_cast<size_t>(j)], j, rho_i, i)) {
+              cand.push_back(j);
             }
-            const double d_sq = SquaredDistance(points[i], points[j], dim);
-            if (d_sq < best_sq) {
-              best_sq = d_sq;
-              best = j;
-            }
+          }
+        }
+        const PointId len = static_cast<PointId>(cand.size());
+        d_sq.resize(cand.size());
+        kernels::SquaredDistanceGather(points, cand.data(), len, points[i],
+                                       d_sq.data());
+        double best_sq = std::numeric_limits<double>::infinity();
+        PointId best = -1;
+        for (PointId k = 0; k < len; ++k) {
+          if (d_sq[static_cast<size_t>(k)] < best_sq) {
+            best_sq = d_sq[static_cast<size_t>(k)];
+            best = cand[static_cast<size_t>(k)];
           }
         }
         if (best >= 0) {

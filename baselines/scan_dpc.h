@@ -19,6 +19,14 @@
 // evaluations, so the quadratic loops poll ShouldStop INSIDE the inner
 // distance scan, amortized every ~kDistanceEvalsPerPoll evaluations
 // (blocked inner loops — no per-evaluation branch on the hot path).
+//
+// Hot path: both quadratic passes stream an identity-order SoA view
+// (core/soa.h) through the batched kernels, one kDistanceEvalsPerPoll
+// block at a time — the poll block doubles as the kernel batch. Counts
+// come from RangeCountBatch (self-hit subtracted arithmetically: the
+// query is always within d_cut of itself); the dependent pass batches
+// the distances and keeps the ascending DenserThan scan on the buffer,
+// so every rho and delta is bit-identical to the scalar loops.
 #ifndef DPC_BASELINES_SCAN_DPC_H_
 #define DPC_BASELINES_SCAN_DPC_H_
 
@@ -27,7 +35,9 @@
 #include <vector>
 
 #include "core/dpc.h"
+#include "core/kernels.h"
 #include "core/options.h"
+#include "core/soa.h"
 #include "index/rtree.h"
 #include "parallel/parallel_for.h"
 
@@ -61,13 +71,22 @@ inline constexpr int64_t kDistanceEvalsPerPoll = 4096;
 /// The inner scan runs in kDistanceEvalsPerPoll blocks with a stop poll
 /// between blocks; a stopped call leaves the remaining slots untouched
 /// (the caller discards the phase via internal::Interrupted).
-inline void QuadraticDeltas(const PointSet& points, const std::vector<double>& rho,
+///
+/// `soa` must be an identity-order view of `points`. Each poll block is
+/// one SquaredDistanceBatch over ALL candidates (a denser-only scan
+/// would break the unit-stride streaming for ~2x fewer flops — a loss on
+/// every profile), then the ascending DenserThan scan runs on the
+/// buffer, preserving the scalar loop's update order and tie behavior
+/// exactly.
+inline void QuadraticDeltas(const PointSet& points, const PointSetSoA& soa,
+                            const std::vector<double>& rho,
                             const ExecutionContext& exec,
                             std::vector<double>* delta,
                             std::vector<PointId>* dependency) {
   const PointId n = points.size();
-  const int dim = points.dim();
   ParallelFor(exec, n, [&](PointId begin, PointId end) {
+    std::vector<double> buf(static_cast<size_t>(
+        std::min<PointId>(n, kDistanceEvalsPerPoll)));
     for (PointId i = begin; i < end; ++i) {
       const double rho_i = rho[static_cast<size_t>(i)];
       double best_sq = std::numeric_limits<double>::infinity();
@@ -75,9 +94,11 @@ inline void QuadraticDeltas(const PointSet& points, const std::vector<double>& r
       for (PointId j0 = 0; j0 < n; j0 += kDistanceEvalsPerPoll) {
         if (exec.ShouldStop()) return;
         const PointId j_end = std::min(j0 + kDistanceEvalsPerPoll, n);
+        kernels::SquaredDistanceBatch(soa, j0, j_end - j0, points[i],
+                                      buf.data());
         for (PointId j = j0; j < j_end; ++j) {
           if (!DenserThan(rho[static_cast<size_t>(j)], j, rho_i, i)) continue;
-          const double d_sq = SquaredDistance(points[i], points[j], dim);
+          const double d_sq = buf[static_cast<size_t>(j - j0)];
           if (d_sq < best_sq) {
             best_sq = d_sq;
             best = j;
@@ -108,7 +129,6 @@ class ScanDpc : public DpcAlgorithm {
 
     DpcSolution result;
     const PointId n = points.size();
-    const int dim = points.dim();
     result.rho.assign(static_cast<size_t>(n), 0.0);
     result.delta.assign(static_cast<size_t>(n),
                         std::numeric_limits<double>::infinity());
@@ -116,7 +136,10 @@ class ScanDpc : public DpcAlgorithm {
 
     internal::WallTimer total;
     internal::WallTimer phase;
-    result.stats.build_seconds = phase.Lap();  // no index
+    // No index — only the transposed hot-path view, charged like one.
+    const PointSetSoA soa(points);
+    result.stats.build_seconds = phase.Lap();
+    result.stats.index_memory_bytes = soa.MemoryBytes();
 
     const double r_sq = compute.d_cut * compute.d_cut;
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
@@ -126,13 +149,11 @@ class ScanDpc : public DpcAlgorithm {
           if (exec.ShouldStop()) return;
           const PointId j_end =
               std::min(j0 + internal::kDistanceEvalsPerPoll, n);
-          for (PointId j = j0; j < j_end; ++j) {
-            if (j != i && SquaredDistance(points[i], points[j], dim) <= r_sq) {
-              ++count;
-            }
-          }
+          count += kernels::RangeCountBatch(soa, j0, j_end - j0, points[i],
+                                            r_sq);
         }
-        result.rho[static_cast<size_t>(i)] = static_cast<double>(count);
+        // The batch counts the self-hit (distance 0 <= r_sq, always).
+        result.rho[static_cast<size_t>(i)] = static_cast<double>(count - 1);
       }
     });
     result.stats.rho_seconds = phase.Lap();
@@ -141,7 +162,7 @@ class ScanDpc : public DpcAlgorithm {
       return result;
     }
 
-    internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
+    internal::QuadraticDeltas(points, soa, result.rho, exec, &result.delta,
                               &result.dependency);
     result.stats.delta_seconds = phase.Lap();
     internal::Interrupted(exec, &result);
@@ -176,8 +197,11 @@ class RtreeScanDpc : public DpcAlgorithm {
     internal::WallTimer total;
     internal::WallTimer phase;
     RTree tree(points);
+    // Identity-order view for the quadratic dependent pass (the tree's
+    // internal view is perm-ordered and private).
+    const PointSetSoA soa(points);
     result.stats.build_seconds = phase.Lap();
-    result.stats.index_memory_bytes = tree.MemoryBytes();
+    result.stats.index_memory_bytes = tree.MemoryBytes() + soa.MemoryBytes();
 
     ParallelFor(exec, n, [&](PointId begin, PointId end) {
       for (PointId i = begin; i < end; ++i) {
@@ -191,7 +215,7 @@ class RtreeScanDpc : public DpcAlgorithm {
       return result;
     }
 
-    internal::QuadraticDeltas(points, result.rho, exec, &result.delta,
+    internal::QuadraticDeltas(points, soa, result.rho, exec, &result.delta,
                               &result.dependency);
     result.stats.delta_seconds = phase.Lap();
     internal::Interrupted(exec, &result);

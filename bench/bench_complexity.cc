@@ -5,6 +5,8 @@
 // workload (fixed d_cut), fits the log-log slope of total runtime per
 // algorithm, and prints the fitted exponent: Scan ~ 2, Ex-DPC and
 // Approx-DPC clearly below 2, S-Approx-DPC ~ 1 (the §5 linearity claim).
+// `--json <path>` writes the per-size times and fitted exponents as an
+// eval/bench_json.h document for the BENCH_*.json trajectory.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -12,10 +14,12 @@
 #include "bench_util.h"
 #include "common/string_util.h"
 #include "data/real_like.h"
+#include "eval/bench_json.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpc;
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   const eval::BenchConfig cfg = eval::LoadBenchConfig();
   bench::PrintBanner("Table 1", "empirical scaling exponents (log-log slope of time vs n)",
                      cfg);
@@ -30,6 +34,8 @@ int main() {
                                       cfg.Scaled(20000), cfg.Scaled(40000)};
   const PointSet full = data::MakeRealLike(spec, sizes.back());
 
+  eval::BenchJsonWriter json("complexity");
+  bench::AddStandardConfig(cfg, &json);
   eval::Table table({"algorithm", "n=" + std::to_string(sizes[0]),
                      "n=" + std::to_string(sizes[1]), "n=" + std::to_string(sizes[2]),
                      "n=" + std::to_string(sizes[3]), "fitted exponent"});
@@ -48,6 +54,10 @@ int main() {
       times.push_back(run.seconds);
       cells.push_back(bench::FmtSeconds(run.seconds, run.extrapolated));
     }
+    json.BeginResult(bench::AlgoName(id));
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      json.AddMetric("seconds_n" + std::to_string(sizes[i]), times[i]);
+    }
     // Least-squares slope of log(time) vs log(n).
     double sx = 0, sy = 0, sxx = 0, sxy = 0;
     const auto m = static_cast<double>(sizes.size());
@@ -60,6 +70,7 @@ int main() {
       sxy += x * y;
     }
     const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+    json.AddMetric("fitted_exponent", slope);
     cells.push_back(StrFormat("%.2f", slope));
     table.AddRow(cells);
   }
@@ -67,5 +78,12 @@ int main() {
   std::printf("\nexpected shape (Table 1): Scan / R-tree+Scan / CFSFDP-A ~ 2.0 "
               "(quadratic dependent pass); Ex-DPC and Approx-DPC < 2; "
               "S-Approx-DPC ~ 1 (near-linear, §5).\n");
+  if (args.WantJson()) {
+    if (!json.WriteFile(args.json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
   return 0;
 }

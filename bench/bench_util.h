@@ -11,6 +11,8 @@
 #define DPC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,13 +23,51 @@
 #include "core/approx_dpc.h"
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
+#include "core/kernels.h"
 #include "core/s_approx_dpc.h"
 #include "data/generators.h"
 #include "data/real_like.h"
 #include "eval/bench_config.h"
+#include "eval/bench_json.h"
 #include "eval/table.h"
 
 namespace dpc::bench {
+
+/// Command-line arguments shared by the bench binaries. Today that is
+/// one flag: `--json <path>` writes the machine-readable result document
+/// (eval/bench_json.h) alongside the human table on stdout.
+struct BenchArgs {
+  std::string json_path;  ///< empty = table output only
+
+  bool WantJson() const { return !json_path.empty(); }
+};
+
+/// Parses argv; unknown arguments abort with usage (benches take no
+/// positional inputs — sizing comes from the DPC_BENCH_* environment).
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Stamps the config block every bench JSON document carries: bench
+/// sizing knobs plus the compiled kernel dispatch. Machine-identifying
+/// fields stay out so committed baselines do not churn (see
+/// eval/bench_json.h).
+inline void AddStandardConfig(const eval::BenchConfig& cfg,
+                              eval::BenchJsonWriter* json) {
+  json->AddConfig("kernel_dispatch", std::string(kernels::DispatchName()));
+  json->AddConfig("scale", cfg.scale);
+  json->AddConfig("max_threads", static_cast<int64_t>(cfg.max_threads));
+  json->AddConfig("heavy", static_cast<int64_t>(cfg.heavy ? 1 : 0));
+}
 
 /// A dataset plus the paper's default parameters for it.
 struct Workload {
@@ -196,9 +236,11 @@ inline std::string FmtSeconds(double s, bool extrapolated = false) {
 inline void PrintBanner(const char* artifact, const char* description,
                         const eval::BenchConfig& cfg) {
   std::printf("=== %s — %s ===\n", artifact, description);
-  std::printf("scale=%.2f threads_cap=%d heavy=%d  (set DPC_BENCH_SCALE / "
-              "DPC_BENCH_THREADS / DPC_BENCH_HEAVY to adjust)\n",
-              cfg.scale, cfg.max_threads, cfg.heavy ? 1 : 0);
+  std::printf("scale=%.2f threads_cap=%d heavy=%d kernels=%s  (set "
+              "DPC_BENCH_SCALE / DPC_BENCH_THREADS / DPC_BENCH_HEAVY to "
+              "adjust)\n",
+              cfg.scale, cfg.max_threads, cfg.heavy ? 1 : 0,
+              kernels::DispatchName());
   std::printf("'~' marks O(n^2) baselines measured on a capped sample and "
               "extrapolated quadratically.\n\n");
 }

@@ -35,7 +35,9 @@
 
 #include "core/dpc.h"
 #include "core/ex_dpc.h"
+#include "core/kernels.h"
 #include "core/options.h"
+#include "core/soa.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
 #include "parallel/parallel_for.h"
@@ -161,23 +163,49 @@ class ApproxDpc : public DpcAlgorithm {
     }
 
     // delta: cell peaks get the exact search, everyone else snaps to its
-    // cell peak.
+    // cell peak. With cell reordering on (the default), the snap
+    // distances stream from a cell-ordered SoA view — each cell's
+    // members are one contiguous SquaredDistanceBatch; sqrt of a
+    // bit-identical square is bit-identical to the scalar Distance.
+    PointSetSoA cell_soa;
+    UniformGrid::Ordering ordering;
+    const bool reordered = kernels::SoaCellReorderEnabled() && n > 0;
+    if (reordered) {
+      ordering = grid.CellOrdering();
+      cell_soa.Assign(points, ordering.order.data(), n, /*store_ids=*/false);
+    }
+    std::vector<double> snap_buf;
     std::vector<PointId> peaks;
     peaks.reserve(static_cast<size_t>(grid.num_cells()));
-    for (const auto& cell : grid.cells()) {
-      PointId peak = cell.members.front();
-      for (const PointId i : cell.members) {
+    for (CellId c = 0; c < grid.num_cells(); ++c) {
+      const std::vector<PointId>& members = grid.members(c);
+      PointId peak = members.front();
+      for (const PointId i : members) {
         if (DenserThan(result.rho[static_cast<size_t>(i)], i,
                        result.rho[static_cast<size_t>(peak)], peak)) {
           peak = i;
         }
       }
       peaks.push_back(peak);
-      for (const PointId i : cell.members) {
-        if (i == peak) continue;
-        result.dependency[static_cast<size_t>(i)] = peak;
-        result.delta[static_cast<size_t>(i)] =
-            Distance(points[i], points[peak], dim);
+      if (reordered) {
+        snap_buf.resize(members.size());
+        kernels::SquaredDistanceBatch(
+            cell_soa, ordering.cell_begin[static_cast<size_t>(c)],
+            static_cast<PointId>(members.size()), points[peak],
+            snap_buf.data());
+        for (size_t k = 0; k < members.size(); ++k) {
+          const PointId i = members[k];
+          if (i == peak) continue;
+          result.dependency[static_cast<size_t>(i)] = peak;
+          result.delta[static_cast<size_t>(i)] = std::sqrt(snap_buf[k]);
+        }
+      } else {
+        for (const PointId i : members) {
+          if (i == peak) continue;
+          result.dependency[static_cast<size_t>(i)] = peak;
+          result.delta[static_cast<size_t>(i)] =
+              Distance(points[i], points[peak], dim);
+        }
       }
     }
     const int num_subsets = options_.force_num_subsets > 0
@@ -257,9 +285,10 @@ class ApproxDpc : public DpcAlgorithm {
         double dist = std::numeric_limits<double>::infinity();
         PointId local;
         if (b < last) {
-          // Every point in this subset outranks p: plain NN.
-          local = trees[static_cast<size_t>(b)].NearestAccepted(
-              points[p], [](PointId) { return true; }, &dist, best);
+          // Every point in this subset outranks p: plain NN on the
+          // predicate-free batched path.
+          local = trees[static_cast<size_t>(b)].NearestWithin(points[p], &dist,
+                                                              best);
         } else {
           // A subset-local id lid sits at density-order position
           // base + lid, so its rank is base + lid by construction.

@@ -1,0 +1,364 @@
+// Batched distance kernels over SoA views — the raw-speed substrate
+// every algorithm's range/density loops run on.
+//
+// Every kernel evaluates one query point against a contiguous run of
+// SoA positions and is BIT-IDENTICAL to calling the scalar reference
+// (core/dpc.h SquaredDistance) per point: both accumulate each point's
+// per-dimension squares in ascending dimension order, so the only thing
+// the batch changes is which point's partial sum is in flight — never
+// the rounding of any individual result. That identity is what lets the
+// fast path ship without perturbing a single label (tests/kernels_test,
+// and the determinism suite under both dispatch modes).
+//
+// Two implementations, selected at configure time via the CMake option
+// DPC_KERNEL_DISPATCH (see the root CMakeLists):
+//
+//   vectorized (default) — column-major loops: for each dimension,
+//     stream the coordinate column with unit stride and accumulate into
+//     a per-point array. Dependence-free across points, so the
+//     auto-vectorizer turns each pass into packed SIMD; counting and
+//     min-reduction scans are branchless. `#pragma omp simd` (enabled
+//     by -fopenmp-simd, no runtime dependency) marks the loops.
+//   portable (-DDPC_KERNEL_DISPATCH=portable, macro DPC_KERNELS_PORTABLE)
+//     — point-major scalar loops in reference order; the fallback for
+//     compilers/targets where the column form pessimizes, and the
+//     oracle the CI matrix keeps compiled and bit-compared.
+//
+// Cell-local reordering: the grid algorithms optionally build their SoA
+// views in UniformGrid cell order so one cell's members are contiguous
+// (UniformGrid::CellOrdering). SetSoaCellReorder(false) disables that
+// layout choice process-wide — values never change (the determinism
+// suite asserts labels are bit-identical either way); only locality does.
+#ifndef DPC_CORE_KERNELS_H_
+#define DPC_CORE_KERNELS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "core/dpc.h"
+#include "core/soa.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DPC_KERNELS_RESTRICT __restrict__
+#else
+#define DPC_KERNELS_RESTRICT
+#endif
+
+namespace dpc::kernels {
+
+/// True when the portable scalar fallback was selected at configure time.
+inline constexpr bool kPortable =
+#if defined(DPC_KERNELS_PORTABLE)
+    true;
+#else
+    false;
+#endif
+
+/// The compiled dispatch mode, for banners and BENCH_*.json config blocks.
+inline const char* DispatchName() { return kPortable ? "portable" : "vectorized"; }
+
+namespace internal {
+
+inline std::atomic<bool>& CellReorderFlag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+}  // namespace internal
+
+/// Whether grid algorithms lay their SoA views out in cell order
+/// (contiguous cell members). Purely a memory-layout choice: labels are
+/// bit-identical on or off. Default on.
+inline bool SoaCellReorderEnabled() {
+  return internal::CellReorderFlag().load(std::memory_order_relaxed);
+}
+inline void SetSoaCellReorder(bool enabled) {
+  internal::CellReorderFlag().store(enabled, std::memory_order_relaxed);
+}
+
+/// out[j] = SquaredDistance(q, soa[begin + j]) for j in [0, count).
+inline void SquaredDistanceBatch(const PointSetSoA& soa, PointId begin,
+                                 PointId count, const double* q, double* out) {
+  const int dim = soa.dim();
+#if defined(DPC_KERNELS_PORTABLE)
+  const PointId stride = soa.size();
+  const double* base = soa.Column(0) + begin;
+  for (PointId j = 0; j < count; ++j) {
+    double s = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = base[static_cast<size_t>(d) * static_cast<size_t>(stride) +
+                               static_cast<size_t>(j)] -
+                          q[d];
+      s += diff * diff;
+    }
+    out[j] = s;
+  }
+#else
+  // Low dimensions get fused single-pass loops: one traversal of the
+  // columns, no intermediate-buffer traffic. The per-point sum is still
+  // d0*d0 + d1*d1 (+ d2*d2) in ascending dimension order — the same
+  // additions in the same order as the scalar reference (x + 0 is exact),
+  // so results stay bit-identical.
+  if (dim == 2) {
+    const double q0 = q[0], q1 = q[1];
+    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
+    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) {
+      const double d0 = c0[j] - q0;
+      const double d1 = c1[j] - q1;
+      o[j] = d0 * d0 + d1 * d1;
+    }
+    return;
+  }
+  if (dim == 3) {
+    const double q0 = q[0], q1 = q[1], q2 = q[2];
+    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
+    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
+    const double* DPC_KERNELS_RESTRICT c2 = soa.Column(2) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) {
+      const double d0 = c0[j] - q0;
+      const double d1 = c1[j] - q1;
+      const double d2 = c2[j] - q2;
+      o[j] = (d0 * d0 + d1 * d1) + d2 * d2;
+    }
+    return;
+  }
+  if (dim == 1) {
+    const double q0 = q[0];
+    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) {
+      const double d0 = c0[j] - q0;
+      o[j] = d0 * d0;
+    }
+    return;
+  }
+  // General dimensions: column passes into the output buffer, two
+  // dimensions fused per pass to halve the buffer round-trips. The fused
+  // update o[j] = (o[j] + dA*dA) + dB*dB adds the squares in ascending
+  // dimension order — the scalar reference's exact association.
+  {
+    const double q0 = q[0], q1 = q[1];
+    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
+    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) {
+      const double d0 = c0[j] - q0;
+      const double d1 = c1[j] - q1;
+      o[j] = d0 * d0 + d1 * d1;
+    }
+  }
+  int d = 2;
+  for (; d + 1 < dim; d += 2) {
+    const double qa = q[d], qb = q[d + 1];
+    const double* DPC_KERNELS_RESTRICT ca = soa.Column(d) + begin;
+    const double* DPC_KERNELS_RESTRICT cb = soa.Column(d + 1) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) {
+      const double da = ca[j] - qa;
+      const double db = cb[j] - qb;
+      o[j] = (o[j] + da * da) + db * db;
+    }
+  }
+  if (d < dim) {
+    const double qd = q[d];
+    const double* DPC_KERNELS_RESTRICT col = soa.Column(d) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) {
+      const double diff = col[j] - qd;
+      o[j] += diff * diff;
+    }
+  }
+#endif
+}
+
+/// |{j in [0, count) : SquaredDistance(q, soa[begin + j]) <= r_sq}| —
+/// the rho primitive. The query itself counts when it is in the range
+/// (distance 0); callers subtract the self-hit.
+inline PointId RangeCountBatch(const PointSetSoA& soa, PointId begin,
+                               PointId count, const double* q, double r_sq) {
+#if defined(DPC_KERNELS_PORTABLE)
+  const int dim = soa.dim();
+  const PointId stride = soa.size();
+  const double* base = soa.Column(0) + begin;
+  PointId hits = 0;
+  for (PointId j = 0; j < count; ++j) {
+    double s = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = base[static_cast<size_t>(d) * static_cast<size_t>(stride) +
+                               static_cast<size_t>(j)] -
+                          q[d];
+      s += diff * diff;
+    }
+    if (s <= r_sq) ++hits;
+  }
+  return hits;
+#else
+  // Low dimensions: fully fused — distance and branchless count in one
+  // pass, no intermediate buffer. Same ascending-dimension sums as the
+  // scalar reference, and a count is order-insensitive, so the result is
+  // exactly the reference's.
+  const int dim = soa.dim();
+  if (dim == 2) {
+    const double q0 = q[0], q1 = q[1];
+    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
+    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
+    int64_t local = 0;
+#pragma omp simd reduction(+ : local)
+    for (PointId j = 0; j < count; ++j) {
+      const double d0 = c0[j] - q0;
+      const double d1 = c1[j] - q1;
+      local += (d0 * d0 + d1 * d1) <= r_sq ? 1 : 0;
+    }
+    return static_cast<PointId>(local);
+  }
+  if (dim == 3) {
+    const double q0 = q[0], q1 = q[1], q2 = q[2];
+    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
+    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
+    const double* DPC_KERNELS_RESTRICT c2 = soa.Column(2) + begin;
+    int64_t local = 0;
+#pragma omp simd reduction(+ : local)
+    for (PointId j = 0; j < count; ++j) {
+      const double d0 = c0[j] - q0;
+      const double d1 = c1[j] - q1;
+      const double d2 = c2[j] - q2;
+      local += ((d0 * d0 + d1 * d1) + d2 * d2) <= r_sq ? 1 : 0;
+    }
+    return static_cast<PointId>(local);
+  }
+  constexpr PointId kTile = 512;
+  double buf[kTile];
+  PointId hits = 0;
+  for (PointId t0 = 0; t0 < count; t0 += kTile) {
+    const PointId len = std::min<PointId>(kTile, count - t0);
+    SquaredDistanceBatch(soa, begin + t0, len, q, buf);
+    int64_t local = 0;
+#pragma omp simd reduction(+ : local)
+    for (PointId j = 0; j < len; ++j) {
+      local += buf[j] <= r_sq ? 1 : 0;
+    }
+    hits += static_cast<PointId>(local);
+  }
+  return hits;
+#endif
+}
+
+/// Result of MinDistanceBatch: the SoA position of the closest point and
+/// its squared distance. Ties resolve to the LOWEST position (identical
+/// to an ascending scalar scan with a strict '<' update).
+struct MinResult {
+  PointId pos = -1;
+  double d_sq = std::numeric_limits<double>::infinity();
+};
+
+/// argmin_j SquaredDistance(q, soa[begin + j]) over [0, count) — the
+/// delta primitive for predicate-free nearest-neighbor scans.
+inline MinResult MinDistanceBatch(const PointSetSoA& soa, PointId begin,
+                                  PointId count, const double* q) {
+  MinResult best;
+#if defined(DPC_KERNELS_PORTABLE)
+  const int dim = soa.dim();
+  const PointId stride = soa.size();
+  const double* base = soa.Column(0) + begin;
+  for (PointId j = 0; j < count; ++j) {
+    double s = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = base[static_cast<size_t>(d) * static_cast<size_t>(stride) +
+                               static_cast<size_t>(j)] -
+                          q[d];
+      s += diff * diff;
+    }
+    if (s < best.d_sq) {
+      best.d_sq = s;
+      best.pos = begin + j;
+    }
+  }
+#else
+  constexpr PointId kTile = 512;
+  double buf[kTile];
+  for (PointId t0 = 0; t0 < count; t0 += kTile) {
+    const PointId len = std::min<PointId>(kTile, count - t0);
+    SquaredDistanceBatch(soa, begin + t0, len, q, buf);
+    double m = std::numeric_limits<double>::infinity();
+#pragma omp simd reduction(min : m)
+    for (PointId j = 0; j < len; ++j) {
+      m = buf[j] < m ? buf[j] : m;
+    }
+    // Strict '<' keeps the earliest tile on cross-tile ties; the inner
+    // find keeps the earliest position within the tile — together,
+    // exactly the ascending scalar scan's answer.
+    if (m < best.d_sq) {
+      for (PointId j = 0; j < len; ++j) {
+        if (buf[j] == m) {
+          best.d_sq = m;
+          best.pos = begin + t0 + j;
+          break;
+        }
+      }
+    }
+  }
+#endif
+  return best;
+}
+
+/// out[j] = sum_d a[d] * soa[begin + j][d] — the projection primitive of
+/// the LSH build (accumulation in ascending dimension order, matching a
+/// scalar dot product bit for bit).
+inline void DotBatch(const PointSetSoA& soa, PointId begin, PointId count,
+                     const double* a, double* out) {
+  const int dim = soa.dim();
+#if defined(DPC_KERNELS_PORTABLE)
+  const PointId stride = soa.size();
+  const double* base = soa.Column(0) + begin;
+  for (PointId j = 0; j < count; ++j) {
+    double s = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      s += a[d] * base[static_cast<size_t>(d) * static_cast<size_t>(stride) +
+                       static_cast<size_t>(j)];
+    }
+    out[j] = s;
+  }
+#else
+  {
+    const double ad = a[0];
+    const double* DPC_KERNELS_RESTRICT col = soa.Column(0) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) o[j] = ad * col[j];
+  }
+  for (int d = 1; d < dim; ++d) {
+    const double ad = a[d];
+    const double* DPC_KERNELS_RESTRICT col = soa.Column(d) + begin;
+    double* DPC_KERNELS_RESTRICT o = out;
+#pragma omp simd
+    for (PointId j = 0; j < count; ++j) o[j] += ad * col[j];
+  }
+#endif
+}
+
+/// out[k] = SquaredDistance(q, points[ids[k]]) — the gather fallback for
+/// loops whose candidates are scattered ids (LSH buckets, dynamic-tree
+/// leaf buckets) where a transposed view cannot pay for itself. Row-major
+/// reads; per-point arithmetic is the scalar reference verbatim.
+inline void SquaredDistanceGather(const PointSet& points, const PointId* ids,
+                                  PointId count, const double* q, double* out) {
+  const int dim = points.dim();
+  for (PointId k = 0; k < count; ++k) {
+    out[k] = SquaredDistance(q, points[ids[k]], dim);
+  }
+}
+
+}  // namespace dpc::kernels
+
+#endif  // DPC_CORE_KERNELS_H_

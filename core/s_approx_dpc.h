@@ -31,8 +31,10 @@
 #include <vector>
 
 #include "core/dpc.h"
+#include "core/kernels.h"
 #include "core/options.h"
 #include "core/rng.h"
+#include "core/soa.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
 #include "parallel/parallel_for.h"
@@ -100,13 +102,25 @@ class SApproxDpc : public DpcAlgorithm {
       return result;
     }
 
-    // Cell peaks + snapping, exactly as Approx-DPC.
+    // Cell peaks + snapping, exactly as Approx-DPC (including the
+    // cell-ordered SoA fast path for the snap distances — see
+    // core/approx_dpc.h; sqrt of a bit-identical square is bit-identical
+    // to the scalar Distance).
+    PointSetSoA cell_soa;
+    UniformGrid::Ordering ordering;
+    const bool reordered = kernels::SoaCellReorderEnabled() && n > 0;
+    if (reordered) {
+      ordering = grid.CellOrdering();
+      cell_soa.Assign(points, ordering.order.data(), n, /*store_ids=*/false);
+    }
+    std::vector<double> snap_buf;
     std::vector<uint8_t> is_peak(static_cast<size_t>(n), 0);
     std::vector<PointId> peaks;
     peaks.reserve(static_cast<size_t>(grid.num_cells()));
-    for (const auto& cell : grid.cells()) {
-      PointId peak = cell.members.front();
-      for (const PointId i : cell.members) {
+    for (CellId c = 0; c < grid.num_cells(); ++c) {
+      const std::vector<PointId>& members = grid.members(c);
+      PointId peak = members.front();
+      for (const PointId i : members) {
         if (DenserThan(result.rho[static_cast<size_t>(i)], i,
                        result.rho[static_cast<size_t>(peak)], peak)) {
           peak = i;
@@ -114,11 +128,25 @@ class SApproxDpc : public DpcAlgorithm {
       }
       is_peak[static_cast<size_t>(peak)] = 1;
       peaks.push_back(peak);
-      for (const PointId i : cell.members) {
-        if (i == peak) continue;
-        result.dependency[static_cast<size_t>(i)] = peak;
-        result.delta[static_cast<size_t>(i)] =
-            Distance(points[i], points[peak], dim);
+      if (reordered) {
+        snap_buf.resize(members.size());
+        kernels::SquaredDistanceBatch(
+            cell_soa, ordering.cell_begin[static_cast<size_t>(c)],
+            static_cast<PointId>(members.size()), points[peak],
+            snap_buf.data());
+        for (size_t k = 0; k < members.size(); ++k) {
+          const PointId i = members[k];
+          if (i == peak) continue;
+          result.dependency[static_cast<size_t>(i)] = peak;
+          result.delta[static_cast<size_t>(i)] = std::sqrt(snap_buf[k]);
+        }
+      } else {
+        for (const PointId i : members) {
+          if (i == peak) continue;
+          result.dependency[static_cast<size_t>(i)] = peak;
+          result.delta[static_cast<size_t>(i)] =
+              Distance(points[i], points[peak], dim);
+        }
       }
     }
 

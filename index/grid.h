@@ -68,6 +68,31 @@ class UniformGrid {
     return cells_[static_cast<size_t>(cell)].members;
   }
 
+  /// The cell-local point ordering the SoA hot path reorders by
+  /// (core/soa.h): `order` concatenates every cell's members (so points
+  /// sharing a cell are contiguous), and cell c spans positions
+  /// [cell_begin[c], cell_begin[c + 1]) of that order. Build order is
+  /// first-touch, so the ordering — like everything else about the grid
+  /// — is deterministic for a fixed input.
+  struct Ordering {
+    std::vector<PointId> order;       ///< SoA position -> point id
+    std::vector<PointId> cell_begin;  ///< num_cells() + 1 span offsets
+  };
+
+  Ordering CellOrdering() const {
+    Ordering out;
+    size_t total = 0;
+    for (const auto& cell : cells_) total += cell.members.size();
+    out.order.reserve(total);
+    out.cell_begin.reserve(cells_.size() + 1);
+    out.cell_begin.push_back(0);
+    for (const auto& cell : cells_) {
+      out.order.insert(out.order.end(), cell.members.begin(), cell.members.end());
+      out.cell_begin.push_back(static_cast<PointId>(out.order.size()));
+    }
+    return out;
+  }
+
   /// §4.5 cost-model hook for the LPT scheduler: the per-point phases do
   /// work proportional to a cell's population, so cost(c) = |P(c)|.
   /// Feed this straight into LptSchedule / ParallelForWithCosts.

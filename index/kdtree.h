@@ -11,6 +11,12 @@
 //                    predicate is "denser than the query point".
 //
 // The tree is immutable after Build() and safe for concurrent queries.
+//
+// Hot-path layout: Build() materializes an SoA (dimension-major) copy of
+// the points in perm_ order, so every leaf's points occupy a contiguous
+// run of SoA positions and the leaf loops run on the batched kernels of
+// core/kernels.h instead of per-point scalar distance calls. Results are
+// bit-identical to the scalar loops (see core/kernels.h).
 #ifndef DPC_INDEX_KDTREE_H_
 #define DPC_INDEX_KDTREE_H_
 
@@ -20,6 +26,8 @@
 #include <vector>
 
 #include "core/dpc.h"
+#include "core/kernels.h"
+#include "core/soa.h"
 
 namespace dpc {
 
@@ -42,6 +50,9 @@ class KdTree {
     boxes_.clear();
     nodes_.reserve(static_cast<size_t>(2 * n / kLeafSize + 4));
     if (n > 0) BuildNode(0, n);
+    // Leaf-contiguous SoA view (perm_ order); perm_ already maps
+    // positions back to ids, so the view needn't store its own copy.
+    soa_.Assign(points, perm_.data(), n, /*store_ids=*/false);
   }
 
   /// Number of indexed points.
@@ -73,6 +84,27 @@ class KdTree {
                   double* out_dist = nullptr) const {
     return NearestAccepted(
         q, [exclude](PointId id) { return id != exclude; }, out_dist);
+  }
+
+  /// Predicate-free nearest neighbor: like NearestAccepted with an
+  /// accept-all predicate, but leaves run the branchless MinDistanceBatch
+  /// kernel. `max_dist` seeds the pruning bound exactly as in
+  /// NearestAccepted (-1 means "nothing beat the bound"). Approx-DPC's
+  /// density-ordered subset search uses this for every subset that
+  /// wholly outranks the query peak.
+  PointId NearestWithin(
+      const double* q, double* out_dist,
+      double max_dist = std::numeric_limits<double>::infinity()) const {
+    PointId best = -1;
+    double best_sq = max_dist < std::numeric_limits<double>::infinity()
+                         ? max_dist * max_dist
+                         : std::numeric_limits<double>::infinity();
+    if (!nodes_.empty()) NearestAllRec(0, q, &best, &best_sq);
+    if (out_dist != nullptr) {
+      *out_dist = best >= 0 ? std::sqrt(best_sq)
+                            : std::numeric_limits<double>::infinity();
+    }
+    return best;
   }
 
   /// The paper's §4.2 joint range search: counts, for every query id in
@@ -123,7 +155,7 @@ class KdTree {
 
   size_t MemoryBytes() const {
     return nodes_.capacity() * sizeof(Node) + boxes_.capacity() * sizeof(double) +
-           perm_.capacity() * sizeof(PointId);
+           perm_.capacity() * sizeof(PointId) + soa_.MemoryBytes();
   }
 
  private:
@@ -256,13 +288,12 @@ class KdTree {
       return;
     }
     if (node.left < 0) {
-      for (PointId i = node.begin; i < node.end; ++i) {
-        const double* p = (*points_)[perm_[static_cast<size_t>(i)]];
-        for (size_t k = 0; k < queries.size(); ++k) {
-          if (SquaredDistance(p, (*points_)[queries[k]], dim_) <= r_sq) {
-            ++(*counts)[k];
-          }
-        }
+      // Fringe leaf: one kernel sweep over the leaf's contiguous SoA run
+      // per query (the ball test is symmetric).
+      for (size_t k = 0; k < queries.size(); ++k) {
+        (*counts)[k] += kernels::RangeCountBatch(
+            soa_, node.begin, node.end - node.begin, (*points_)[queries[k]],
+            r_sq);
       }
       return;
     }
@@ -278,10 +309,8 @@ class KdTree {
       return;
     }
     if (node.left < 0) {
-      for (PointId i = node.begin; i < node.end; ++i) {
-        const PointId id = perm_[static_cast<size_t>(i)];
-        if (SquaredDistance(q, (*points_)[id], dim_) <= r_sq) ++*count;
-      }
+      *count += kernels::RangeCountBatch(soa_, node.begin,
+                                         node.end - node.begin, q, r_sq);
       return;
     }
     CountRec(node.left, q, r_sq, count);
@@ -292,10 +321,21 @@ class KdTree {
                  std::vector<PointId>* out) const {
     const Node& node = nodes_[static_cast<size_t>(ni)];
     if (MinSqToBox(node, q) > r_sq) return;
-    if (node.left < 0 || MaxSqToBox(node, q) <= r_sq) {
+    if (MaxSqToBox(node, q) <= r_sq) {
+      // Whole subtree inside the ball: report wholesale, no distances.
       for (PointId i = node.begin; i < node.end; ++i) {
-        const PointId id = perm_[static_cast<size_t>(i)];
-        if (SquaredDistance(q, (*points_)[id], dim_) <= r_sq) out->push_back(id);
+        out->push_back(perm_[static_cast<size_t>(i)]);
+      }
+      return;
+    }
+    if (node.left < 0) {
+      double buf[kLeafSize];
+      const PointId len = node.end - node.begin;
+      kernels::SquaredDistanceBatch(soa_, node.begin, len, q, buf);
+      for (PointId i = 0; i < len; ++i) {
+        if (buf[i] <= r_sq) {
+          out->push_back(perm_[static_cast<size_t>(node.begin + i)]);
+        }
       }
       return;
     }
@@ -309,12 +349,17 @@ class KdTree {
     const Node& node = nodes_[static_cast<size_t>(ni)];
     if (MinSqToBox(node, q) >= *best_sq) return;
     if (node.left < 0) {
-      for (PointId i = node.begin; i < node.end; ++i) {
-        const PointId id = perm_[static_cast<size_t>(i)];
+      // Distances come from one kernel sweep; the predicate filter scans
+      // the buffer in perm order, matching the scalar loop's update order
+      // (and therefore its tie behavior) exactly.
+      double buf[kLeafSize];
+      const PointId len = node.end - node.begin;
+      kernels::SquaredDistanceBatch(soa_, node.begin, len, q, buf);
+      for (PointId i = 0; i < len; ++i) {
+        const PointId id = perm_[static_cast<size_t>(node.begin + i)];
         if (!accept(id)) continue;
-        const double d_sq = SquaredDistance(q, (*points_)[id], dim_);
-        if (d_sq < *best_sq) {
-          *best_sq = d_sq;
+        if (buf[i] < *best_sq) {
+          *best_sq = buf[i];
           *best = id;
         }
       }
@@ -329,11 +374,33 @@ class KdTree {
     NearestRec(second, q, accept, best, best_sq);
   }
 
+  void NearestAllRec(int32_t ni, const double* q, PointId* best,
+                     double* best_sq) const {
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    if (MinSqToBox(node, q) >= *best_sq) return;
+    if (node.left < 0) {
+      const kernels::MinResult m = kernels::MinDistanceBatch(
+          soa_, node.begin, node.end - node.begin, q);
+      if (m.d_sq < *best_sq) {
+        *best_sq = m.d_sq;
+        *best = perm_[static_cast<size_t>(m.pos)];
+      }
+      return;
+    }
+    const double dl = MinSqToBox(nodes_[static_cast<size_t>(node.left)], q);
+    const double dr = MinSqToBox(nodes_[static_cast<size_t>(node.right)], q);
+    const int32_t first = dl <= dr ? node.left : node.right;
+    const int32_t second = dl <= dr ? node.right : node.left;
+    NearestAllRec(first, q, best, best_sq);
+    NearestAllRec(second, q, best, best_sq);
+  }
+
   const PointSet* points_ = nullptr;
   int dim_ = 0;
   std::vector<PointId> perm_;
   std::vector<Node> nodes_;
   std::vector<double> boxes_;
+  PointSetSoA soa_;
 };
 
 }  // namespace dpc

@@ -10,9 +10,16 @@
 // deterministic RNG (core/rng.h) and the build is serial, so the
 // partition — and every algorithm built on it — is bit-identical across
 // runs and thread counts.
+//
+// Hot-path layout: the build transposes the points once (core/soa.h) and
+// computes each table's projections with the batched dot-product kernel
+// (kernels::DotBatch) over point tiles — unit-stride column streams
+// instead of n * k scattered row walks. DotBatch accumulates dimensions
+// in ascending order, so every key is bit-identical to the scalar dot.
 #ifndef DPC_INDEX_LSH_H_
 #define DPC_INDEX_LSH_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
@@ -20,7 +27,9 @@
 
 #include "common/hash.h"
 #include "core/dpc.h"
+#include "core/kernels.h"
 #include "core/rng.h"
+#include "core/soa.h"
 
 namespace dpc {
 
@@ -76,34 +85,51 @@ class LshPartitioner {
 
   void Build(const PointSet& points) {
     const PointId n = points.size();
-    const int dim = points.dim();
     const int k = params_.num_projections;
     const double w = params_.bucket_width;
     Rng rng(params_.seed);
     tables_.assign(static_cast<size_t>(params_.num_tables), Table{});
     std::vector<int64_t> key(static_cast<size_t>(k));
+    // One identity-order transposed view shared by every table's
+    // projection pass.
+    const PointSetSoA soa(points);
+    constexpr PointId kTile = 2048;
+    std::vector<double> dots(static_cast<size_t>(k) *
+                             static_cast<size_t>(std::min(n, kTile)));
     for (Table& table : tables_) {
-      table.proj.resize(static_cast<size_t>(k) * static_cast<size_t>(dim));
+      table.proj.resize(static_cast<size_t>(k) * static_cast<size_t>(points.dim()));
       for (double& v : table.proj) v = rng.NextGaussian();
       table.offset.resize(static_cast<size_t>(k));
       for (double& v : table.offset) v = rng.Uniform(0.0, w);
       table.bucket_of.resize(static_cast<size_t>(n));
       std::unordered_map<std::vector<int64_t>, uint32_t, Int64VectorHash> index;
       index.reserve(static_cast<size_t>(n) / 8 + 16);
-      for (PointId i = 0; i < n; ++i) {
-        const double* p = points[i];
+      for (PointId t0 = 0; t0 < n; t0 += kTile) {
+        const PointId len = std::min(kTile, n - t0);
         for (int j = 0; j < k; ++j) {
-          const double* a = table.proj.data() + static_cast<size_t>(j) * dim;
-          double dot = 0.0;
-          for (int d = 0; d < dim; ++d) dot += a[d] * p[d];
-          key[static_cast<size_t>(j)] = static_cast<int64_t>(
-              std::floor((dot + table.offset[static_cast<size_t>(j)]) / w));
+          kernels::DotBatch(soa, t0, len,
+                            table.proj.data() + static_cast<size_t>(j) *
+                                                    static_cast<size_t>(points.dim()),
+                            dots.data() + static_cast<size_t>(j) *
+                                              static_cast<size_t>(len));
         }
-        const auto [it, inserted] =
-            index.try_emplace(key, static_cast<uint32_t>(table.buckets.size()));
-        if (inserted) table.buckets.emplace_back();
-        table.buckets[it->second].push_back(i);
-        table.bucket_of[static_cast<size_t>(i)] = it->second;
+        // Key assembly and bucket insertion stay in ascending id order,
+        // so bucket membership lists stay ascending (bit-identical to
+        // the former per-point loop).
+        for (PointId i = 0; i < len; ++i) {
+          for (int j = 0; j < k; ++j) {
+            const double dot =
+                dots[static_cast<size_t>(j) * static_cast<size_t>(len) +
+                     static_cast<size_t>(i)];
+            key[static_cast<size_t>(j)] = static_cast<int64_t>(
+                std::floor((dot + table.offset[static_cast<size_t>(j)]) / w));
+          }
+          const auto [it, inserted] = index.try_emplace(
+              key, static_cast<uint32_t>(table.buckets.size()));
+          if (inserted) table.buckets.emplace_back();
+          table.buckets[it->second].push_back(t0 + i);
+          table.bucket_of[static_cast<size_t>(t0 + i)] = it->second;
+        }
       }
     }
   }

@@ -6,6 +6,11 @@
 // MBR lies entirely inside the query ball contributes its subtree size
 // without visiting points. The tree is immutable after Build() and safe
 // for concurrent queries.
+//
+// Hot-path layout: Build() materializes an SoA (dimension-major) copy of
+// the points in perm_ order, so leaf ranges are contiguous SoA runs and
+// the fringe counting runs on kernels::RangeCountBatch (bit-identical to
+// the scalar loop — see core/kernels.h).
 #ifndef DPC_INDEX_RTREE_H_
 #define DPC_INDEX_RTREE_H_
 
@@ -17,6 +22,8 @@
 #include <vector>
 
 #include "core/dpc.h"
+#include "core/kernels.h"
+#include "core/soa.h"
 
 namespace dpc {
 
@@ -42,6 +49,9 @@ class RTree {
     // STR: recursively tile the id range into kFanout slabs along the
     // widest dimension until ranges fit in a leaf.
     root_ = BuildNode(0, static_cast<PointId>(perm_.size()));
+    // Leaf-contiguous SoA view (perm_ order).
+    soa_.Assign(points, perm_.data(), static_cast<PointId>(perm_.size()),
+                /*store_ids=*/false);
   }
 
   PointId size() const { return static_cast<PointId>(perm_.size()); }
@@ -67,7 +77,7 @@ class RTree {
   size_t MemoryBytes() const {
     return nodes_.capacity() * sizeof(Node) + boxes_.capacity() * sizeof(double) +
            perm_.capacity() * sizeof(PointId) +
-           child_index_.capacity() * sizeof(int32_t);
+           child_index_.capacity() * sizeof(int32_t) + soa_.MemoryBytes();
   }
 
  private:
@@ -177,10 +187,8 @@ class RTree {
       return;
     }
     if (node.num_children == 0) {
-      for (PointId i = node.begin; i < node.end; ++i) {
-        const PointId id = perm_[static_cast<size_t>(i)];
-        if (SquaredDistance(q, (*points_)[id], dim_) <= r_sq) ++*count;
-      }
+      *count += kernels::RangeCountBatch(soa_, node.begin,
+                                         node.end - node.begin, q, r_sq);
       return;
     }
     for (int32_t c = 0; c < node.num_children; ++c) {
@@ -196,6 +204,7 @@ class RTree {
   std::vector<Node> nodes_;
   std::vector<int32_t> child_index_;
   std::vector<double> boxes_;
+  PointSetSoA soa_;
 };
 
 }  // namespace dpc

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench --json document against a committed baseline.
+
+Compares only *speedup* metrics — within-run ratios of the scalar
+reference to the batched kernel, which are stable across machines.
+Absolute ns/us metrics depend on the recording host's clock and are
+never gated.
+
+Tolerance policy:
+  - baseline speedup >= NOISE_FLOOR (1.5x): the current value must be
+    >= baseline * (1 - TOLERANCE). A drop past 15% of a real speedup is
+    a code regression, not timer noise.
+  - baseline speedup < NOISE_FLOOR: the band widens to LOOSE_TOLERANCE
+    (30%). Near-1x ratios wobble +/-17% between healthy runs on a busy
+    core, so a tight gate there would only produce flakes.
+
+Exit status 0 = all gated metrics within tolerance; 1 = regression.
+
+Usage:
+  scripts/check_bench_regression.py --baseline BENCH_kernels.json \
+                                    --current /tmp/bench_index_micro.json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+TOLERANCE = 0.15
+LOOSE_TOLERANCE = 0.30
+NOISE_FLOOR = 1.5
+
+
+def load(path):
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != 1:
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def speedups(doc):
+    out = {}
+    for result in doc.get("results", []):
+        for metric, value in result.get("metrics", {}).items():
+            if "speedup" in metric and isinstance(value, (int, float)):
+                out[(result["name"], metric)] = float(value)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json to gate against")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted bench --json document")
+    args = parser.parse_args()
+
+    base = speedups(load(args.baseline))
+    cur = speedups(load(args.current))
+    if not base:
+        sys.exit(f"error: {args.baseline} has no speedup metrics to gate on")
+
+    failures = []
+    for (name, metric), base_value in sorted(base.items()):
+        cur_value = cur.get((name, metric))
+        if cur_value is None:
+            failures.append(f"{name}.{metric}: missing from current run")
+            continue
+        tolerance = TOLERANCE if base_value >= NOISE_FLOOR else LOOSE_TOLERANCE
+        bound = base_value * (1.0 - tolerance)
+        ok = cur_value >= bound
+        print(f"  {name}.{metric}: baseline {base_value:.2f}x, "
+              f"current {cur_value:.2f}x, bound {bound:.2f}x "
+              f"({'ok' if ok else 'REGRESSION'})")
+        if not ok:
+            failures.append(
+                f"{name}.{metric}: {cur_value:.2f}x < {bound:.2f}x "
+                f"(baseline {base_value:.2f}x - {tolerance:.0%})")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench regression gate passed "
+          f"({len(base)} speedup metrics within tolerance)")
+
+
+if __name__ == "__main__":
+    main()

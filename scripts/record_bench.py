@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Record the committed benchmark trajectory (BENCH_*.json).
+
+Runs a bench binary's --json emitter and copies the document to the repo
+root as BENCH_<name>.json — the committed perf trajectory that
+scripts/check_bench_regression.py gates CI against. By default records
+the kernel microbenchmarks (bench_index_micro -> BENCH_kernels.json).
+
+The emitted document carries no timestamps or host identifiers (see
+eval/bench_json.h), so re-recording on the same code only churns the
+measured numbers. Absolute ns are informational; the regression gate
+compares only within-run *speedup* ratios, which are stable across
+machines.
+
+Usage:
+  scripts/record_bench.py [--build-dir build] [--bench bench_index_micro]
+                          [--out BENCH_kernels.json] [--allow-below-floor]
+
+Refuses to record a baseline whose kernel_range_count_dim2 speedup is
+below 2.0 (the PR acceptance floor for the SoA fast path) unless
+--allow-below-floor is given; a baseline recorded below the floor would
+make the CI gate pass on a regressed tree.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# The recorded baseline must demonstrate the SoA fast path actually pays:
+# (result name, metric, minimum value).
+FLOORS = [
+    ("kernel_range_count_dim2", "speedup", 2.0),
+]
+
+
+def find_metric(doc, result_name, metric):
+    for result in doc.get("results", []):
+        if result.get("name") == result_name:
+            return result.get("metrics", {}).get(metric)
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--bench", default="bench_index_micro",
+                        help="bench binary to run (default: bench_index_micro)")
+    parser.add_argument("--out", default="BENCH_kernels.json",
+                        help="output file at the repo root "
+                             "(default: BENCH_kernels.json)")
+    parser.add_argument("--allow-below-floor", action="store_true",
+                        help="record even if a FLOORS entry fails "
+                             "(for diagnosing regressed trees)")
+    args = parser.parse_args()
+
+    binary = REPO_ROOT / args.build_dir / "bench" / args.bench
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — configure with "
+                 f"-DDPC_BUILD_BENCH=ON and build first")
+
+    out_path = REPO_ROOT / args.out
+    tmp_path = out_path.with_suffix(".json.tmp")
+    print(f"running {binary} --json {tmp_path} ...")
+    subprocess.run([str(binary), "--json", str(tmp_path)], check=True,
+                   cwd=REPO_ROOT)
+
+    doc = json.loads(tmp_path.read_text())
+    if doc.get("schema") != 1:
+        sys.exit(f"error: unexpected schema {doc.get('schema')!r}")
+
+    failures = []
+    for result_name, metric, minimum in FLOORS:
+        value = find_metric(doc, result_name, metric)
+        if value is None:
+            continue  # bench without this case (e.g. recording complexity)
+        status = "ok" if value >= minimum else "BELOW FLOOR"
+        print(f"  {result_name}.{metric} = {value:.2f} "
+              f"(floor {minimum:.1f}) {status}")
+        if value < minimum:
+            failures.append((result_name, metric, value, minimum))
+
+    if failures and not args.allow_below_floor:
+        tmp_path.unlink()
+        sys.exit("error: refusing to record a baseline below the "
+                 "acceptance floor (use --allow-below-floor to override)")
+
+    tmp_path.replace(out_path)
+    print(f"wrote {out_path.relative_to(REPO_ROOT)}")
+    print("commit it to update the recorded trajectory; CI gates against "
+          "the committed copy via scripts/check_bench_regression.py")
+
+
+if __name__ == "__main__":
+    main()

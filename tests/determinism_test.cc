@@ -12,6 +12,7 @@
 #include "baselines/lsh_ddp.h"
 #include "core/approx_dpc.h"
 #include "core/ex_dpc.h"
+#include "core/kernels.h"
 #include "core/registry.h"
 #include "core/s_approx_dpc.h"
 #include "data/generators.h"
@@ -120,6 +121,32 @@ int main() {
         }
       }
       std::printf("%-12s identical across strategies x threads\n", name.c_str());
+    }
+  }
+
+  // SoA cell reordering is a memory-layout choice, never a semantic one:
+  // every registered algorithm must produce bit-identical labels with the
+  // cell-ordered hot-path views disabled (core/kernels.h).
+  {
+    dpc::data::GaussianBenchmarkParams small = gen;
+    small.num_points = 3000;
+    small.seed = 123;
+    const dpc::PointSet pts = dpc::data::GaussianBenchmark(small);
+    dpc::DpcParams p = params;
+    p.num_threads = 2;
+    p.epsilon = 0.5;
+
+    CHECK(dpc::kernels::SoaCellReorderEnabled());  // default on
+    for (const std::string& name : dpc::RegisteredAlgorithmNames()) {
+      auto algo = dpc::MakeAlgorithmByName(name);
+      CHECK(algo.ok());
+      dpc::kernels::SetSoaCellReorder(true);
+      const dpc::DpcResult reordered = algo.value()->Run(pts, p);
+      dpc::kernels::SetSoaCellReorder(false);
+      const dpc::DpcResult flat = algo.value()->Run(pts, p);
+      dpc::kernels::SetSoaCellReorder(true);
+      CheckSameResult(reordered, flat);
+      std::printf("%-12s identical with cell reordering on/off\n", name.c_str());
     }
   }
 

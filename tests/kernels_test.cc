@@ -1,0 +1,158 @@
+// Batched kernels vs the scalar reference: every kernel in
+// core/kernels.h must be BIT-identical (==, not near) to per-point
+// SquaredDistance / dot calls, across dimensions, odd batch lengths,
+// permuted views, and both dispatch modes (the CI matrix compiles this
+// test under vectorized AND portable dispatch).
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/dpc.h"
+#include "core/kernels.h"
+#include "core/rng.h"
+#include "core/soa.h"
+#include "tests/test_util.h"
+
+namespace {
+
+dpc::PointSet RandomPoints(int dim, dpc::PointId n, uint64_t seed) {
+  dpc::Rng rng(seed);
+  dpc::PointSet points(dim);
+  points.Reserve(n);
+  std::vector<double> p(static_cast<size_t>(dim));
+  for (dpc::PointId i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) p[static_cast<size_t>(d)] = rng.Uniform(0, 1000);
+    points.Add(p.data());
+  }
+  return points;
+}
+
+// Exercises every kernel over [begin, begin + count) of `soa`, whose
+// position j maps to points[ids[j]].
+void CheckRange(const dpc::PointSet& points, const dpc::PointSetSoA& soa,
+                const std::vector<dpc::PointId>& ids, dpc::PointId begin,
+                dpc::PointId count, const double* q, double r_sq) {
+  const int dim = points.dim();
+
+  std::vector<double> batch(static_cast<size_t>(count) + 1,
+                            std::numeric_limits<double>::quiet_NaN());
+  batch.back() = -42.0;  // overrun canary
+  dpc::kernels::SquaredDistanceBatch(soa, begin, count, q, batch.data());
+  CHECK_EQ(batch.back(), -42.0);
+
+  dpc::PointId scalar_hits = 0;
+  double scalar_min = std::numeric_limits<double>::infinity();
+  dpc::PointId scalar_argmin = -1;
+  for (dpc::PointId j = 0; j < count; ++j) {
+    const double d_sq = dpc::SquaredDistance(
+        q, points[ids[static_cast<size_t>(begin + j)]], dim);
+    CHECK(batch[static_cast<size_t>(j)] == d_sq);  // bitwise
+    if (d_sq <= r_sq) ++scalar_hits;
+    if (d_sq < scalar_min) {
+      scalar_min = d_sq;
+      scalar_argmin = begin + j;
+    }
+  }
+
+  CHECK_EQ(dpc::kernels::RangeCountBatch(soa, begin, count, q, r_sq),
+           scalar_hits);
+
+  const dpc::kernels::MinResult m =
+      dpc::kernels::MinDistanceBatch(soa, begin, count, q);
+  CHECK_EQ(m.pos, scalar_argmin);
+  if (count > 0) CHECK(m.d_sq == scalar_min);
+
+  // DotBatch vs an ascending-dimension scalar dot (q doubles as the
+  // projection direction).
+  std::vector<double> dots(static_cast<size_t>(count));
+  dpc::kernels::DotBatch(soa, begin, count, q, dots.data());
+  for (dpc::PointId j = 0; j < count; ++j) {
+    const double* p = points[ids[static_cast<size_t>(begin + j)]];
+    double s = 0.0;
+    for (int d = 0; d < dim; ++d) s += q[d] * p[d];
+    CHECK(dots[static_cast<size_t>(j)] == s);
+  }
+
+  // The row-major gather agrees with the transposed batch on the same
+  // candidates.
+  std::vector<double> gathered(static_cast<size_t>(count));
+  dpc::kernels::SquaredDistanceGather(points,
+                                      ids.data() + static_cast<size_t>(begin),
+                                      count, q, gathered.data());
+  for (dpc::PointId j = 0; j < count; ++j) {
+    CHECK(gathered[static_cast<size_t>(j)] == batch[static_cast<size_t>(j)]);
+  }
+}
+
+void TestDim(int dim) {
+  const dpc::PointId n = 1337;  // odd on purpose
+  const dpc::PointSet points =
+      RandomPoints(dim, n, 4200 + static_cast<uint64_t>(dim));
+
+  // Identity view and a reversed-permutation view.
+  std::vector<dpc::PointId> identity(static_cast<size_t>(n));
+  std::iota(identity.begin(), identity.end(), dpc::PointId{0});
+  std::vector<dpc::PointId> reversed(identity.rbegin(), identity.rend());
+
+  const dpc::PointSetSoA soa(points);
+  dpc::PointSetSoA perm_soa;
+  perm_soa.Assign(points, reversed.data(), n, /*store_ids=*/true);
+  CHECK_EQ(perm_soa.IdAt(0), n - 1);
+  CHECK_EQ(soa.IdAt(5), 5);
+  CHECK(soa.MemoryBytes() >= static_cast<size_t>(n) * dim * sizeof(double));
+
+  dpc::Rng rng(7);
+  std::vector<double> q(static_cast<size_t>(dim));
+  // Batch lengths chosen to hit every tiling edge: empty, one, odd
+  // lengths straddling the 512-wide vector tile, and the full set.
+  const dpc::PointId lens[] = {0, 1, 3, 31, 511, 512, 513, 1023, n};
+  for (int trial = 0; trial < 8; ++trial) {
+    for (int d = 0; d < dim; ++d) q[static_cast<size_t>(d)] = rng.Uniform(0, 1000);
+    const double r = rng.Uniform(50.0, 600.0);
+    for (const dpc::PointId len : lens) {
+      const dpc::PointId begin =
+          len >= n ? 0
+                   : static_cast<dpc::PointId>(rng.NextBelow(
+                         static_cast<uint64_t>(n - len + 1)));
+      CheckRange(points, soa, identity, begin, std::min(len, n), q.data(),
+                 r * r);
+      CheckRange(points, perm_soa, reversed, begin, std::min(len, n), q.data(),
+                 r * r);
+    }
+  }
+
+  // Tie-breaking: duplicate the minimum so several positions share the
+  // winning distance — MinDistanceBatch must report the FIRST position,
+  // exactly like an ascending scalar scan with strict '<'.
+  {
+    dpc::PointSet dups(dim);
+    std::vector<double> a(static_cast<size_t>(dim), 1.0);
+    std::vector<double> b(static_cast<size_t>(dim), 2.0);
+    for (int i = 0; i < 600; ++i) {
+      dups.Add(i % 3 == 1 ? a.data() : b.data());  // min at 1, 4, 7, ...
+    }
+    const dpc::PointSetSoA dup_soa(dups);
+    std::vector<double> origin(static_cast<size_t>(dim), 1.0);
+    const dpc::kernels::MinResult m = dpc::kernels::MinDistanceBatch(
+        dup_soa, 0, dups.size(), origin.data());
+    CHECK_EQ(m.pos, 1);
+    CHECK(m.d_sq == 0.0);
+    // Offset start: first qualifying position relative to the sub-range.
+    const dpc::kernels::MinResult m2 = dpc::kernels::MinDistanceBatch(
+        dup_soa, 2, dups.size() - 2, origin.data());
+    CHECK_EQ(m2.pos, 4);
+  }
+
+  std::printf("kernels dim=%d OK (%s dispatch)\n", dim,
+              dpc::kernels::DispatchName());
+}
+
+}  // namespace
+
+int main() {
+  for (const int dim : {1, 2, 3, 7, 8}) TestDim(dim);
+  std::printf("kernels_test OK\n");
+  return 0;
+}
