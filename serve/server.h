@@ -1,30 +1,37 @@
-// ClusterServer — the serving layer's engine: one dispatcher thread
-// drains the AdmissionQueue in coalesced batches and executes each
-// request over ONE shared ThreadPool, deriving a fresh-stop-state
-// ExecutionContext per request (deadline armed from the request budget).
-// Requests in a batch execute serially, each with the full pool — the
-// paper's algorithms scale with threads, so one request at full width
-// beats two at half width, and the solution cache absorbs the duplicates
-// that batching exposes.
+// ClusterServer — the serving layer's engine, now a truly concurrent
+// scheduler: one dispatcher thread drains the AdmissionQueue in
+// coalesced batches and feeds a fixed set of EXECUTOR LANES; each lane
+// leases a shard of the thread budget (serve/shard_pool.h) sized from
+// the request's population cost and priority, so several independent
+// requests run side by side instead of one-at-a-time at full width.
+// With one lane (max_concurrent = 1) the behavior degenerates to the
+// classic serial dispatch: every request gets the whole budget.
+//
+// Concurrent lanes can race identical requests past the batch-window
+// coalescing, so an in-flight map (keyed by the same canonical solution
+// key as the cache) dedupes them: the first lane computes, twins wait on
+// its completion (deadline-aware) and then serve from the cache as hits
+// — a coalesced burst still computes once.
 //
 // The cache is the two-tier SolutionCache (serve/solution_cache.h),
 // keyed by the COMPUTE configuration only: a kCluster request whose
 // compute key hits answers any (rho_min, delta_min) with an O(n)
 // finalize and zero algorithm work. kRethreshold and kGraph requests go
 // further — they are answered synchronously at Submit, entirely off the
-// dispatcher and the ThreadPool, and fail NOT_FOUND when the solution
-// tier is cold instead of recomputing. ServerStats::recomputes counts
-// actual algorithm executions, so "a re-threshold never recomputes" is
-// an observable invariant, not a hope.
+// dispatcher and every pool, and fail NOT_FOUND when the solution tier
+// is cold instead of recomputing. ServerStats::recomputes counts actual
+// algorithm executions, so "a re-threshold never recomputes" is an
+// observable invariant, not a hope.
 //
-// Threading note: the dispatcher is the serve/ layer's only std::thread;
-// all clustering parallelism still comes from parallel/thread_pool.h.
+// Threading note: the dispatcher and the executor lanes are the serve/
+// layer's only std::threads; all clustering parallelism still comes from
+// parallel/thread_pool.h instances owned by the ShardPool.
 //
 // Per-request outcomes (ClusterResponse::status):
 //   OK                  labels computed (or served from cache/coalesced)
-//   kDeadlineExceeded   budget expired in the queue (never ran) or
-//                       mid-run (the ExecutionContext stopped the
-//                       algorithm between / inside phases)
+//   kDeadlineExceeded   budget expired in the queue (never ran), waiting
+//                       for a shard or an in-flight twin, or mid-run
+//                       (the ExecutionContext stopped the algorithm)
 //   kNotFound           unknown dataset handle or algorithm name, or a
 //                       kRethreshold/kGraph request against a cold cache
 //   kInvalidArgument    bad params or per-algorithm options
@@ -32,13 +39,18 @@
 #ifndef DPC_SERVE_SERVER_H_
 #define DPC_SERVE_SERVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -51,14 +63,20 @@
 #include "serve/dataset_registry.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
+#include "serve/shard_pool.h"
 #include "serve/solution_cache.h"
 
 namespace dpc::serve {
 
 struct ServerOptions {
-  /// Worker threads in the shared pool (0 = all hardware threads). Every
-  /// request executes on this one pool.
+  /// Total worker-thread budget across all concurrently executing
+  /// requests (0 = all hardware threads). The ShardPool leases slices of
+  /// it per request.
   int pool_threads = 0;
+  /// Executor lanes = the most requests executing at once. 0 = auto:
+  /// half the thread budget, clamped to [1, 4] — small servers stay
+  /// serial, big ones overlap. 1 = classic serial dispatch.
+  int max_concurrent = 0;
   /// Solution-cache capacity in solutions; 0 disables caching (which
   /// also makes every kRethreshold/kGraph request fail NOT_FOUND).
   size_t cache_capacity = 64;
@@ -86,16 +104,26 @@ struct ServerStats {
   uint64_t rethreshold_served = 0;  ///< kRethreshold/kGraph answered at submit
   uint64_t deadline_exceeded = 0;   ///< expired in queue or mid-run
   uint64_t errors = 0;              ///< NotFound / InvalidArgument / Cancelled
+  uint64_t peak_concurrency = 0;    ///< most requests mid-Solve at once
+  uint64_t leases_granted = 0;      ///< shard leases taken from the pool
+  uint64_t lease_width_total = 0;   ///< sum of granted widths (occupancy)
 };
 
 class ClusterServer {
  public:
   explicit ClusterServer(ServerOptions options = {})
       : options_(options),
-        pool_(std::make_shared<ThreadPool>(options.pool_threads)),
-        base_ctx_(pool_->size(), options.strategy, pool_),
-        cache_(options.cache_capacity, options.labelings_per_solution),
-        dispatcher_([this] { ServeLoop(); }) {}
+        shard_pool_(options.pool_threads),
+        lanes_(options.max_concurrent > 0
+                   ? options.max_concurrent
+                   : std::clamp(shard_pool_.total() / 2, 1, 4)),
+        cache_(options.cache_capacity, options.labelings_per_solution) {
+    executors_.reserve(static_cast<size_t>(lanes_));
+    for (int i = 0; i < lanes_; ++i) {
+      executors_.emplace_back([this] { ExecutorLoop(); });
+    }
+    dispatcher_ = std::thread([this] { ServeLoop(); });
+  }
 
   ClusterServer(const ClusterServer&) = delete;
   ClusterServer& operator=(const ClusterServer&) = delete;
@@ -105,16 +133,17 @@ class ClusterServer {
   DatasetRegistry& datasets() { return datasets_; }
   const DatasetRegistry& datasets() const { return datasets_; }
   SolutionCache& cache() { return cache_; }
+  int lanes() const { return lanes_; }
 
   /// Validates and admits the request; the response arrives through the
-  /// returned future once the dispatcher serves it. Invalid requests and
-  /// submissions after Shutdown resolve immediately (the shutdown check
-  /// lives inside AdmissionQueue::Push, under the queue lock, so a
+  /// returned future once an executor lane serves it. Invalid requests
+  /// and submissions after Shutdown resolve immediately (the shutdown
+  /// check lives inside AdmissionQueue::Push, under the queue lock, so a
   /// Submit racing Shutdown either lands in the drained-by-dispatcher
   /// queue or is rejected — never stranded). kRethreshold and kGraph
   /// requests resolve synchronously here: the threshold phase is O(n)
   /// against a cached solution, so they bypass the queue, the batch
-  /// window, and the ThreadPool entirely.
+  /// window, and every pool entirely.
   std::future<ClusterResponse> Submit(ClusterRequest request) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
     if (const Status s = request.Validate(); !s.ok()) {
@@ -142,12 +171,17 @@ class ClusterServer {
   }
 
   /// Stops admission, serves everything already queued, and joins the
-  /// dispatcher. Idempotent and safe to race (e.g. an explicit Shutdown
-  /// against the destructor); also run by the destructor.
+  /// dispatcher and every executor lane. Idempotent and safe to race
+  /// (e.g. an explicit Shutdown against the destructor).
   void Shutdown() {
     queue_.Shutdown();
     std::lock_guard<std::mutex> lock(join_mu_);
+    // Dispatcher exit implies every admitted submission reached the
+    // executor queue and exec_done_ is set; lanes then drain and exit.
     if (dispatcher_.joinable()) dispatcher_.join();
+    for (std::thread& t : executors_) {
+      if (t.joinable()) t.join();
+    }
   }
 
   ServerStats stats() const {
@@ -160,6 +194,9 @@ class ClusterServer {
         rethreshold_served_.load(std::memory_order_relaxed);
     s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
     s.errors = errors_.load(std::memory_order_relaxed);
+    s.peak_concurrency = peak_concurrency_.load(std::memory_order_relaxed);
+    s.leases_granted = leases_granted_.load(std::memory_order_relaxed);
+    s.lease_width_total = lease_width_total_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -240,13 +277,56 @@ class ClusterServer {
     for (;;) {
       std::vector<Submission> batch =
           queue_.PopBatch(options_.max_batch, options_.batch_window);
-      if (batch.empty()) return;  // shutdown, queue drained
-      // Serial execution in priority order: the first run of a
-      // configuration lands in the cache before its within-batch twins
-      // are looked up, so a coalesced burst computes once.
-      for (Submission& s : batch) Execute(s);
+      const bool drained = batch.empty();  // shutdown, queue drained
+      {
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        for (Submission& s : batch) exec_queue_.push_back(std::move(s));
+        if (drained) exec_done_ = true;
+      }
+      exec_cv_.notify_all();
+      if (drained) return;
     }
   }
+
+  void ExecutorLoop() {
+    for (;;) {
+      Submission s;
+      {
+        std::unique_lock<std::mutex> lock(exec_mu_);
+        exec_cv_.wait(lock,
+                      [this] { return exec_done_ || !exec_queue_.empty(); });
+        if (exec_queue_.empty()) return;  // done and drained
+        s = std::move(exec_queue_.front());
+        exec_queue_.pop_front();
+      }
+      Execute(s);
+    }
+  }
+
+  /// Erases the in-flight entry and wakes every waiting twin; runs on
+  /// every path out of the compute section once a lane registered as the
+  /// key's computer (including failures — twins then recompute).
+  class InflightSettle {
+   public:
+    InflightSettle(ClusterServer* server, const std::string* key,
+                   std::promise<void>* done)
+        : server_(server), key_(key), done_(done) {}
+    InflightSettle(const InflightSettle&) = delete;
+    InflightSettle& operator=(const InflightSettle&) = delete;
+    ~InflightSettle() {
+      if (server_ == nullptr) return;
+      {
+        std::lock_guard<std::mutex> lock(server_->inflight_mu_);
+        server_->inflight_.erase(*key_);
+      }
+      done_->set_value();
+    }
+
+   private:
+    ClusterServer* server_;
+    const std::string* key_;
+    std::promise<void>* done_;
+  };
 
   void Execute(Submission& s) {
     ClusterResponse response;
@@ -289,19 +369,99 @@ class ClusterServer {
       return;
     }
 
-    // Per-request context: shares the pool and policy, but deadline and
-    // cancellation are this request's alone. The deprecated per-request
+    // In-flight dedup: with several lanes, identical requests can race
+    // past both the batch coalescing and the cache check above. The
+    // first lane registers as the key's computer; twins wait
+    // (deadline-aware) and then serve from the now-warm cache as hits.
+    std::promise<void> inflight_done;
+    std::shared_future<void> twin;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        twin = it->second;
+      } else {
+        inflight_.emplace(key, inflight_done.get_future().share());
+      }
+    }
+    if (twin.valid()) {
+      if (s.deadline_at != std::chrono::steady_clock::time_point::max()) {
+        if (twin.wait_until(s.deadline_at) != std::future_status::ready) {
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          response.status = Status::DeadlineExceeded(
+              "deadline expired waiting for an identical in-flight request");
+          s.promise.set_value(std::move(response));
+          return;
+        }
+      } else {
+        twin.wait();
+      }
+      if (std::shared_ptr<const DpcResult> cached =
+              cache_.Finalize(key, threshold)) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        response.result = std::move(cached);
+        response.cache_hit = true;
+        s.promise.set_value(std::move(response));
+        return;
+      }
+      // The twin failed or the cache is disabled: compute ourselves,
+      // without re-registering (a second failure must not cascade waits).
+      return Compute(s, std::move(response), *dataset, *algo.value(), key,
+                     threshold, nullptr);
+    }
+    InflightSettle settle(this, &key, &inflight_done);
+    Compute(s, std::move(response), *dataset, *algo.value(), key, threshold,
+            &settle);
+  }
+
+  /// The actual solve: lease a shard of the budget sized from the §4.5
+  /// population cost and the request priority, run with a per-request
+  /// deadline context on the leased pool, insert into the cache, then
+  /// respond. `settle` (may be null) wakes in-flight twins on scope exit
+  /// — after the cache insert, so they find it warm.
+  void Compute(Submission& s, ClusterResponse response,
+               const NamedDataset& dataset, DpcAlgorithm& algo,
+               const std::string& key, const ThresholdSpec& threshold,
+               InflightSettle* settle) {
+    (void)settle;  // held by the caller; named here for the contract
+    const int width =
+        PlanShardWidth(shard_pool_.total(), lanes_,
+                       static_cast<int64_t>(dataset.points.size()),
+                       s.request.priority);
+    std::optional<ShardPool::Lease> lease =
+        shard_pool_.Acquire(width, s.deadline_at);
+    if (!lease.has_value()) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::DeadlineExceeded(
+          "deadline expired waiting for a pool shard");
+      s.promise.set_value(std::move(response));
+      return;
+    }
+    leases_granted_.fetch_add(1, std::memory_order_relaxed);
+    lease_width_total_.fetch_add(static_cast<uint64_t>(lease->width()),
+                                 std::memory_order_relaxed);
+
+    // Per-request context on the leased pool: deadline and cancellation
+    // are this request's alone. The deprecated per-request
     // DpcParams::num_threads never reaches the compute phase — Solve
     // takes its whole execution policy from this context.
-    ExecutionContext ctx = base_ctx_.WithFreshStopState();
+    ExecutionContext ctx(lease->width(), options_.strategy, lease->pool());
     if (s.deadline_at != std::chrono::steady_clock::time_point::max()) {
       ctx.set_deadline(s.deadline_at);
     }
 
+    const uint64_t running = running_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t peak = peak_concurrency_.load(std::memory_order_relaxed);
+    while (running > peak && !peak_concurrency_.compare_exchange_weak(
+                                 peak, running, std::memory_order_relaxed)) {
+    }
     const auto run_start = std::chrono::steady_clock::now();
-    DpcSolution solution = algo.value()->Solve(
-        dataset->points, s.request.params.compute(), ctx,
-        dataset->fingerprint);
+    DpcSolution solution = algo.Solve(dataset.points,
+                                      s.request.params.compute(), ctx,
+                                      dataset.fingerprint);
+    running_.fetch_sub(1, std::memory_order_relaxed);
+    lease->Release();
     recomputes_.fetch_add(1, std::memory_order_relaxed);
     response.run_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -332,8 +492,8 @@ class ClusterServer {
   }
 
   const ServerOptions options_;
-  std::shared_ptr<ThreadPool> pool_;
-  ExecutionContext base_ctx_;
+  ShardPool shard_pool_;
+  const int lanes_;
   DatasetRegistry datasets_;
   SolutionCache cache_;
   AdmissionQueue queue_;
@@ -345,9 +505,23 @@ class ClusterServer {
   std::atomic<uint64_t> rethreshold_served_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> running_{0};
+  std::atomic<uint64_t> peak_concurrency_{0};
+  std::atomic<uint64_t> leases_granted_{0};
+  std::atomic<uint64_t> lease_width_total_{0};
 
-  std::mutex join_mu_;      ///< serializes racing Shutdown calls
-  std::thread dispatcher_;  // last member: starts after everything it uses
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_future<void>> inflight_;
+
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  std::deque<Submission> exec_queue_;  ///< guarded by exec_mu_
+  bool exec_done_ = false;             ///< guarded by exec_mu_
+
+  std::mutex join_mu_;  ///< serializes racing Shutdown calls
+  // Last members: lanes and dispatcher start after everything they use.
+  std::vector<std::thread> executors_;
+  std::thread dispatcher_;
 };
 
 }  // namespace dpc::serve

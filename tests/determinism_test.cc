@@ -19,18 +19,6 @@
 #include "parallel/thread_pool.h"
 #include "tests/test_util.h"
 
-namespace {
-
-void CheckSameResult(const dpc::DpcResult& a, const dpc::DpcResult& b) {
-  CHECK(a.label == b.label);
-  CHECK(a.rho == b.rho);
-  CHECK(a.delta == b.delta);
-  CHECK(a.dependency == b.dependency);
-  CHECK(a.centers == b.centers);
-}
-
-}  // namespace
-
 int main() {
   dpc::data::GaussianBenchmarkParams gen;
   gen.num_points = 8000;
@@ -58,11 +46,11 @@ int main() {
     params.num_threads = 1;
     const dpc::DpcResult serial = algo.Run(points, params);
     const dpc::DpcResult serial2 = algo.Run(points, params);
-    CheckSameResult(serial, serial2);
+    dpc::test::AssertSolutionsEqual(serial, serial2);
 
     params.num_threads = 4;
     const dpc::DpcResult parallel = algo.Run(points, params);
-    CheckSameResult(serial, parallel);
+    dpc::test::AssertSolutionsEqual(serial, parallel);
 
     CHECK(serial.num_clusters() > 0);
   }
@@ -85,7 +73,7 @@ int main() {
       const dpc::DpcResult serial = algo->Run(points, p);
       for (const int threads : {2, 8}) {
         p.num_threads = threads;
-        CheckSameResult(serial, algo->Run(points, p));
+        dpc::test::AssertSolutionsEqual(serial, algo->Run(points, p));
       }
       CHECK(serial.num_clusters() > 0);
     }
@@ -117,7 +105,7 @@ int main() {
             dpc::ScheduleStrategy::kCostGuided}) {
         for (const int threads : {1, 2, 8}) {
           const dpc::ExecutionContext ctx(threads, strategy, pool);
-          CheckSameResult(baseline, algo.value()->Run(pts, p, ctx));
+          dpc::test::AssertSolutionsEqual(baseline, algo.value()->Run(pts, p, ctx));
         }
       }
       std::printf("%-12s identical across strategies x threads\n", name.c_str());
@@ -145,7 +133,7 @@ int main() {
       dpc::kernels::SetSoaCellReorder(false);
       const dpc::DpcResult flat = algo.value()->Run(pts, p);
       dpc::kernels::SetSoaCellReorder(true);
-      CheckSameResult(reordered, flat);
+      dpc::test::AssertSolutionsEqual(reordered, flat);
       std::printf("%-12s identical with cell reordering on/off\n", name.c_str());
     }
   }

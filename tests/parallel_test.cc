@@ -169,6 +169,32 @@ int main() {
     CHECK(!derived2.ShouldStop());
   }
 
+  // Budget re-arm (regression): a deadline armed as a RELATIVE budget via
+  // set_deadline_after re-arms IN FULL on every WithFreshStopState copy,
+  // measured from the copy's creation. Before the fix, a sub-context
+  // derived after the parent's budget had burned inherited a dead clock
+  // and stopped instantly — a shard spawned late in a request got zero
+  // time. Absolute set_deadline deadlines are NOT inherited.
+  {
+    dpc::ExecutionContext base(2);
+    base.set_deadline_after(std::chrono::milliseconds(150));
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    CHECK(base.ShouldStop());  // parent budget burned
+    const dpc::ExecutionContext derived = base.WithFreshStopState();
+    CHECK(!derived.ShouldStop());  // full budget, fresh clock
+    const dpc::ExecutionContext grandchild = derived.WithFreshStopState();
+    CHECK(!grandchild.ShouldStop());
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    CHECK(derived.ShouldStop());     // the re-armed budget still expires
+    CHECK(grandchild.ShouldStop());  // and re-arms transitively
+
+    dpc::ExecutionContext absolute(2);
+    absolute.set_deadline(std::chrono::steady_clock::now() -
+                          std::chrono::seconds(1));
+    CHECK(absolute.ShouldStop());
+    CHECK(!absolute.WithFreshStopState().ShouldStop());
+  }
+
   // A cancelled run stops at the first phase boundary: interrupted stats,
   // every label kUnassigned, no centers.
   {

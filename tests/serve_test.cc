@@ -301,7 +301,7 @@ void TestServerEndToEnd() {
   auto algo = dpc::MakeAlgorithmByName("ex-dpc");
   CHECK(algo.ok());
   const dpc::DpcResult direct = algo.value()->Run(points, params);
-  CHECK(first.result->label == direct.label);
+  CHECK(dpc::test::BitIdenticalLabels(first.result->label, direct.label));
   CHECK(first.result->centers == direct.centers);
   CHECK(first.result->dependency == direct.dependency);
 
@@ -316,8 +316,8 @@ void TestServerEndToEnd() {
   CHECK(r.status.ok());
   CHECK(r.cache_hit);
   CHECK_EQ(server.stats().recomputes, recomputes_before);
-  CHECK(r.result->label ==
-        algo.value()->Run(points, rethresholded.params).label);
+  CHECK(dpc::test::BitIdenticalLabels(
+      r.result->label, algo.value()->Run(points, rethresholded.params).label));
 
   // A different COMPUTE configuration evicts the capacity-1 cache; the
   // original then recomputes (deterministically the same labels).
@@ -328,7 +328,7 @@ void TestServerEndToEnd() {
   const auto recomputed = server.Submit(request).get();
   CHECK(recomputed.status.ok());
   CHECK(!recomputed.cache_hit);
-  CHECK(recomputed.result->label == direct.label);
+  CHECK(dpc::test::BitIdenticalLabels(recomputed.result->label, direct.label));
 
   // The deprecated per-request thread knob must not change the outcome
   // (the server owns execution policy) — and must hit the same cache key.
@@ -382,7 +382,8 @@ void TestRethresholdAndGraphRequests() {
     CHECK(response.status.ok());
     CHECK(response.cache_hit);
     CHECK_EQ(response.run_seconds, 0.0);
-    CHECK(response.result->label == algo.value()->Run(points, re.params).label);
+    CHECK(dpc::test::BitIdenticalLabels(response.result->label,
+                                        algo.value()->Run(points, re.params).label));
   }
   CHECK_EQ(server.stats().recomputes, recomputes);
   CHECK_EQ(server.stats().rethreshold_served, 3u);
@@ -453,10 +454,12 @@ void TestMixedDeadlineBatch() {
   auto algo = dpc::MakeAlgorithmByName("ex-dpc");
   const auto r1 = f1.get();
   CHECK(r1.status.ok());
-  CHECK(r1.result->label == algo.value()->Run(points, healthy1.params).label);
+  CHECK(dpc::test::BitIdenticalLabels(
+      r1.result->label, algo.value()->Run(points, healthy1.params).label));
   const auto r2 = f2.get();
   CHECK(r2.status.ok());
-  CHECK(r2.result->label == algo.value()->Run(points, healthy2.params).label);
+  CHECK(dpc::test::BitIdenticalLabels(
+      r2.result->label, algo.value()->Run(points, healthy2.params).label));
 
   CHECK_EQ(server.stats().deadline_exceeded, 1u);
 }
@@ -564,7 +567,7 @@ void TestConcurrentSubmissions() {
         request.params = configs[which];
         const auto response = server.Submit(std::move(request)).get();
         if (!response.status.ok() ||
-            response.result->label != expected[which]) {
+            !dpc::test::BitIdenticalLabels(response.result->label, expected[which])) {
           ++failures[static_cast<size_t>(c)];
         }
       }
@@ -582,6 +585,125 @@ void TestConcurrentSubmissions() {
   CHECK_EQ(stats.errors, 0u);
 }
 
+// The tentpole's serving leg: with several executor lanes, DISTINCT
+// requests genuinely overlap (peak_concurrency proves it), every
+// response stays bit-identical to a direct Run, a low-priority
+// no-deadline request is never starved, and the mixed synchronous kinds
+// keep working against the same server. The TSan CI job runs this.
+void TestConcurrentExecutionOverlap() {
+  const dpc::PointSet points = TestPoints(29, 3000);
+
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 4;
+  options.max_concurrent = 3;
+  options.cache_capacity = 8;
+  options.batch_window = std::chrono::milliseconds(5);
+  dpc::serve::ClusterServer server(options);
+  CHECK_EQ(server.lanes(), 3);
+  server.datasets().Register("pts", points);
+
+  // Six DISTINCT compute configurations — distinct cache keys, so
+  // neither the batch coalescing nor the in-flight dedup can collapse
+  // them: three lanes must execute them overlapped.
+  std::vector<dpc::DpcParams> configs;
+  for (int i = 0; i < 6; ++i) {
+    configs.push_back(TestParams(1500.0 + 250.0 * i));
+  }
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  std::vector<std::vector<int64_t>> expected;
+  for (const auto& params : configs) {
+    expected.push_back(algo.value()->Run(points, params).label);
+  }
+
+  std::vector<std::future<dpc::serve::ClusterResponse>> futures;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    dpc::serve::ClusterRequest request;
+    request.dataset = "pts";
+    request.algorithm = "ex-dpc";
+    request.params = configs[i];
+    if (i == 0) request.priority = -3;  // dispatched last; must still finish
+    if (i == 1) request.deadline = std::chrono::minutes(1);  // generous
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto response = futures[i].get();
+    CHECK(response.status.ok());
+    CHECK(!response.cache_hit);
+    CHECK(dpc::test::BitIdenticalLabels(response.result->label, expected[i]));
+  }
+
+  // Mixed kinds against the warmed server: synchronous re-threshold and
+  // graph requests interleave with queued resubmissions — nothing
+  // recomputes, everything stays bit-identical.
+  const uint64_t recomputes = server.stats().recomputes;
+  dpc::serve::ClusterRequest re;
+  re.dataset = "pts";
+  re.algorithm = "ex-dpc";
+  re.params = configs[2];
+  re.params.rho_min = 5.0;
+  re.kind = dpc::serve::RequestKind::kRethreshold;
+  const auto r = server.Submit(re).get();
+  CHECK(r.status.ok());
+  CHECK(r.cache_hit);
+  CHECK(dpc::test::BitIdenticalLabels(r.result->label,
+                                      algo.value()->Run(points, re.params).label));
+  dpc::serve::ClusterRequest graph = re;
+  graph.kind = dpc::serve::RequestKind::kGraph;
+  graph.params = configs[3];
+  graph.graph_top_k = 4;
+  CHECK_EQ(server.Submit(graph).get().graph.size(), 4u);
+  dpc::serve::ClusterRequest again;
+  again.dataset = "pts";
+  again.algorithm = "ex-dpc";
+  again.params = configs[4];
+  CHECK(server.Submit(again).get().cache_hit);
+  CHECK_EQ(server.stats().recomputes, recomputes);
+
+  const auto stats = server.stats();
+  // The overlap proof: at least two requests were mid-Solve at once
+  // (with 3 lanes and 6 multi-millisecond solves, serial execution
+  // cannot produce this), and every compute held a shard lease.
+  CHECK(stats.peak_concurrency >= 2u);
+  CHECK_EQ(stats.leases_granted, 6u);
+  CHECK(stats.lease_width_total >= stats.leases_granted);
+  CHECK_EQ(stats.errors, 0u);
+  CHECK_EQ(stats.deadline_exceeded, 0u);
+}
+
+/// Sharded execution through the server: `sharding=region` requests hit
+/// the SAME cache key as unsharded ones (execution options are stripped
+/// from the solution key), and a sharded compute's labels are
+/// bit-identical to the unsharded direct Run.
+void TestShardedRequestsShareCacheKey() {
+  const dpc::PointSet points = TestPoints(31, 1200);
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  dpc::serve::ClusterRequest sharded;
+  sharded.dataset = "pts";
+  sharded.algorithm = "ex-dpc";
+  sharded.params = TestParams();
+  sharded.options = {{"sharding", "region"}, {"shards", "4"}};
+  const auto first = server.Submit(sharded).get();
+  CHECK(first.status.ok());
+  CHECK(!first.cache_hit);
+
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  CHECK(dpc::test::BitIdenticalLabels(
+      first.result->label, algo.value()->Run(points, sharded.params).label));
+
+  // The unsharded spelling of the same compute config is a cache hit —
+  // sharding is an execution detail, not an identity.
+  dpc::serve::ClusterRequest plain = sharded;
+  plain.options.clear();
+  const auto second = server.Submit(plain).get();
+  CHECK(second.status.ok());
+  CHECK(second.cache_hit);
+  CHECK(second.result.get() == first.result.get());
+}
+
 }  // namespace
 
 int main() {
@@ -595,6 +717,8 @@ int main() {
   TestMixedDeadlineBatch();
   TestErrorPaths();
   TestConcurrentSubmissions();
+  TestConcurrentExecutionOverlap();
+  TestShardedRequestsShareCacheKey();
   std::printf("serve_test OK\n");
   return 0;
 }

@@ -100,11 +100,7 @@ void TestSolutionThenFinalizeMatchesRunForAllAlgorithms() {
             points, dpc::ComposeParams(compute, spec),
             dpc::ExecutionContext(2));
 
-        CHECK(from_solution.label == from_run.label);
-        CHECK(from_solution.centers == from_run.centers);
-        CHECK(from_solution.rho == from_run.rho);
-        CHECK(from_solution.delta == from_run.delta);
-        CHECK(from_solution.dependency == from_run.dependency);
+        dpc::test::AssertSolutionsEqual(from_solution, from_run);
       }
     }
 

@@ -1,12 +1,17 @@
-// Assertion macros for the dependency-free ctest units. A failed CHECK
-// prints the expression and location and exits non-zero, which ctest
-// reports as the test failure.
+// Assertion macros for the dependency-free ctest units, plus the shared
+// bit-identity helpers (dpc::test) that every determinism-style test
+// compares results with. A failed CHECK prints the expression and
+// location and exits non-zero, which ctest reports as the test failure.
 #ifndef DPC_TESTS_TEST_UTIL_H_
 #define DPC_TESTS_TEST_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+#include "core/dpc.h"
 
 #define CHECK(cond)                                                          \
   do {                                                                       \
@@ -42,5 +47,32 @@
       std::exit(1);                                                           \
     }                                                                         \
   } while (0)
+
+namespace dpc::test {
+
+/// Exact (bitwise) label equality — the form every determinism assertion
+/// in this suite means by "identical".
+inline bool BitIdenticalLabels(const std::vector<int64_t>& a,
+                               const std::vector<int64_t>& b) {
+  return a == b;
+}
+
+inline bool BitIdenticalLabels(const DpcResult& a, const DpcResult& b) {
+  return BitIdenticalLabels(a.label, b.label);
+}
+
+/// Asserts two results are bit-identical in every field the library's
+/// determinism contract covers: labels, densities, dependent distances,
+/// dependency pointers, and centers. Exact double comparison is the
+/// point — "close" is a bug here.
+inline void AssertSolutionsEqual(const DpcResult& a, const DpcResult& b) {
+  CHECK(a.label == b.label);
+  CHECK(a.rho == b.rho);
+  CHECK(a.delta == b.delta);
+  CHECK(a.dependency == b.dependency);
+  CHECK(a.centers == b.centers);
+}
+
+}  // namespace dpc::test
 
 #endif  // DPC_TESTS_TEST_UTIL_H_
