@@ -156,7 +156,7 @@ int main() {
   for (const bool cached : {false, true}) {
     serve::ServerOptions options;
     options.pool_threads = cfg.max_threads;
-    options.cache_capacity = cached ? 32 : 0;
+    options.memory_budget_bytes = cached ? (size_t{64} << 20) : 0;
     // Zero coalescing window: closed-loop clients batch naturally (the
     // dispatcher pops whatever accumulated while busy), and reported
     // latencies are pure service, not door-holding.
@@ -219,7 +219,7 @@ int main() {
   {
     serve::ServerOptions options;
     options.pool_threads = cfg.max_threads;
-    options.cache_capacity = 0;  // force real executions
+    options.memory_budget_bytes = 0;  // force real executions
     serve::ClusterServer server(options);
     server.datasets().Register("bench", points);
 
@@ -304,7 +304,7 @@ int main() {
       serve::ServerOptions options;
       options.pool_threads = cfg.max_threads;
       options.max_concurrent = max_concurrent;
-      options.cache_capacity = 0;  // every request really computes
+      options.memory_budget_bytes = 0;  // every request really computes
       options.batch_window = std::chrono::milliseconds(0);
       serve::ClusterServer server(options);
       for (int i = 0; i < 4; ++i) {

@@ -345,6 +345,7 @@ inline DpcSolution SolveExDpcSharded(const PointSet& points,
     return result;
   }
 
+  const double d_cut_sq = compute.d_cut * compute.d_cut;
   ParallelForWithCosts(exec, plan.costs, [&](int64_t si) {
     const RegionShard& shard = plan.shards[static_cast<size_t>(si)];
     const internal::ShardIndex& idx = indexes[static_cast<size_t>(si)];
@@ -360,6 +361,20 @@ inline DpcSolution SolveExDpcSharded(const PointSet& points,
             return DenserThan(result.rho[static_cast<size_t>(g)], g, rho_p, p);
           },
           &cand_sq);
+      // Halo-complete fast path: the halo contains EVERY point within
+      // d_cut of an owned point (cells excluded from owned ∪ halo have a
+      // lattice lower bound > d_cut² · (1 + 1e-9)), so when the local
+      // candidate clears that margin — cand_sq <= d_cut² — every global
+      // point that could beat OR tie it is already in the local tree.
+      // The kd-tree's smallest-id tie-break depends only on the candidate
+      // set (index/kdtree.h), and idx.ids is ascending, so the local
+      // winner IS the global winner: skip the global re-search.
+      if (cand >= 0 && cand_sq <= d_cut_sq) {
+        result.delta[static_cast<size_t>(p)] = std::sqrt(cand_sq);
+        result.dependency[static_cast<size_t>(p)] =
+            idx.ids[static_cast<size_t>(cand)];
+        continue;
+      }
       // Global re-search seeded one ulp past the candidate: returns the
       // identical winner the unbounded search would (see header note),
       // at ~zero cost when the candidate already is the answer.

@@ -3,8 +3,16 @@
 // read per-request responses (cache hits, deadline outcomes, timings).
 //
 // Usage:
-//   dpc_server [--batch FILE] [--threads N] [--cache N] [--max-batch N]
-//              [--batch-window-ms N]
+//   dpc_server [--batch FILE] [--threads N] [--cache-mb N] [--max-batch N]
+//              [--batch-window-ms N] [--store PATH] [--store-mb N]
+//
+// --store points at a persistent solution log (store/solution_store.h):
+// computed solutions write through to it, cache evictions demote to it
+// instead of discarding, and a RESTARTED server replays it so
+// rethreshold/graph requests against pre-restart compute configurations
+// are answered warm (finalize-only, zero recomputes). --cache-mb bounds
+// the in-memory tier in megabytes (0 disables caching), --store-mb
+// bounds the on-disk log (0 = unbounded).
 //
 // Commands are read from FILE (one per line; '#' starts a comment) or
 // interactively from stdin:
@@ -28,7 +36,10 @@
 //                             solution's decision graph; extra key top_k=
 //                             (default 10). Same warm-only contract.
 //   wait                      resolve pending requests, print responses
-//   stats                     print server + cache counters
+//   stats                     print server + cache counters (byte usage
+//                             included) and, with --store, the store line
+//   store                     print persistent-store occupancy (log
+//                             bytes, live solutions, promotions, ...)
 //   quit                      drain, shut down, exit
 //
 // Submissions are asynchronous: issuing several `run` lines before `wait`
@@ -61,14 +72,15 @@ struct Pending {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--batch FILE] [--threads N] [--cache N] "
-               "[--max-batch N] [--batch-window-ms N]\n"
+               "usage: %s [--batch FILE] [--threads N] [--cache-mb N] "
+               "[--max-batch N] [--batch-window-ms N] [--store PATH] "
+               "[--store-mb N]\n"
                "commands: load NAME PATH | gen NAME N [CLUSTERS] [SEED] | "
                "drop NAME |\n"
                "          run NAME ALGO k=v ... | rethreshold NAME ALGO "
                "k=v ... |\n"
                "          graph NAME ALGO k=v ... top_k=N | wait | stats | "
-               "quit\n",
+               "store | quit\n",
                argv0);
   return 2;
 }
@@ -127,8 +139,14 @@ int main(int argc, char** argv) {
       batch_path = argv[++i];
     } else if (a == "--threads" && i + 1 < argc) {
       options.pool_threads = std::atoi(argv[++i]);
-    } else if (a == "--cache" && i + 1 < argc) {
-      options.cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (a == "--cache-mb" && i + 1 < argc) {
+      options.memory_budget_bytes =
+          static_cast<size_t>(std::atoll(argv[++i])) << 20;
+    } else if (a == "--store" && i + 1 < argc) {
+      options.store_path = argv[++i];
+    } else if (a == "--store-mb" && i + 1 < argc) {
+      options.disk_budget_bytes =
+          static_cast<uint64_t>(std::atoll(argv[++i])) << 20;
     } else if (a == "--max-batch" && i + 1 < argc) {
       options.max_batch = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (a == "--batch-window-ms" && i + 1 < argc) {
@@ -301,14 +319,47 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.deadline_exceeded),
           static_cast<unsigned long long>(s.errors));
       std::printf(
-          "cache: size=%zu/%zu solution_hits=%llu solution_misses=%llu "
-          "evictions=%llu label_hits=%llu finalizations=%llu\n",
-          server.cache().size(), server.cache().capacity(),
+          "cache: entries=%zu bytes=%zu/%zu solution_hits=%llu "
+          "solution_misses=%llu warm_misses=%llu promotions=%llu "
+          "demotions=%llu evictions=%llu label_hits=%llu "
+          "finalizations=%llu\n",
+          server.cache().size(), server.cache().bytes_in_use(),
+          server.cache().memory_budget_bytes(),
           static_cast<unsigned long long>(c.solution_hits),
           static_cast<unsigned long long>(c.solution_misses),
+          static_cast<unsigned long long>(c.warm_misses),
+          static_cast<unsigned long long>(c.promotions),
+          static_cast<unsigned long long>(c.demotions),
           static_cast<unsigned long long>(c.evictions),
           static_cast<unsigned long long>(c.label_hits),
           static_cast<unsigned long long>(c.finalizations));
+      if (server.store() != nullptr) {
+        std::printf("store: bytes=%llu\n",
+                    static_cast<unsigned long long>(s.store_bytes));
+      }
+    } else if (cmd == "store" && tokens.size() == 1) {
+      if (server.store() == nullptr) {
+        if (fail("no store attached (run with --store PATH)")) break;
+        continue;
+      }
+      const dpc::store::SolutionStore::Stats t = server.store()->stats();
+      std::printf(
+          "store %s: log_bytes=%llu live_solutions=%llu "
+          "live_payload_bytes=%llu puts=%llu fetches=%llu pool_hits=%llu "
+          "log_reads=%llu decode_failures=%llu compactions=%llu "
+          "budget_evictions=%llu pool_bytes=%llu\n",
+          server.store()->path().c_str(),
+          static_cast<unsigned long long>(t.log_bytes),
+          static_cast<unsigned long long>(t.live_solutions),
+          static_cast<unsigned long long>(t.live_payload_bytes),
+          static_cast<unsigned long long>(t.puts),
+          static_cast<unsigned long long>(t.fetches),
+          static_cast<unsigned long long>(t.pool_hits),
+          static_cast<unsigned long long>(t.log_reads),
+          static_cast<unsigned long long>(t.decode_failures),
+          static_cast<unsigned long long>(t.compactions),
+          static_cast<unsigned long long>(t.budget_evictions),
+          static_cast<unsigned long long>(t.pool_bytes_in_use));
     } else if (cmd == "quit" && tokens.size() == 1) {
       break;
     } else {

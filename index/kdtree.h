@@ -370,18 +370,26 @@ class KdTree {
   void NearestRec(int32_t ni, const double* q, const Accept& accept, PointId* best,
                   double* best_sq) const {
     const Node& node = nodes_[static_cast<size_t>(ni)];
-    if (MinSqToBox(node, q) >= *best_sq) return;
+    // `>` (not `>=`): a box at exactly *best_sq may still hold an
+    // equal-distance point with a smaller id, and the tie-break below must
+    // see it for the winner to be tree-shape independent.
+    if (MinSqToBox(node, q) > *best_sq) return;
     if (node.left < 0) {
-      // Distances come from one kernel sweep; the predicate filter scans
-      // the buffer in perm order, matching the scalar loop's update order
-      // (and therefore its tie behavior) exactly.
+      // Distances come from one kernel sweep; exact-distance ties break to
+      // the smallest id, so the winner depends only on the candidate SET,
+      // never on leaf order or tree shape. This is what lets a shard-local
+      // search stand in for the global one when the candidate sets agree
+      // (core/sharded_dpc.h halo-complete fast path), and it matches the
+      // ascending-id strict-< scan baselines. A point at exactly the seeded
+      // bound (*best == -1) still loses: the bound itself is not a winner.
       double buf[kLeafSize];
       const PointId len = node.end - node.begin;
       kernels::SquaredDistanceBatch(soa_, node.begin, len, q, buf);
       for (PointId i = 0; i < len; ++i) {
         const PointId id = perm_[static_cast<size_t>(node.begin + i)];
         if (!accept(id)) continue;
-        if (buf[i] < *best_sq) {
+        if (buf[i] < *best_sq ||
+            (buf[i] == *best_sq && *best >= 0 && id < *best)) {
           *best_sq = buf[i];
           *best = id;
         }

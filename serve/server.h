@@ -43,6 +43,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <future>
 #include <memory>
@@ -65,6 +66,7 @@
 #include "serve/scheduler.h"
 #include "serve/shard_pool.h"
 #include "serve/solution_cache.h"
+#include "store/solution_store.h"
 
 namespace dpc::serve {
 
@@ -77,9 +79,18 @@ struct ServerOptions {
   /// half the thread budget, clamped to [1, 4] — small servers stay
   /// serial, big ones overlap. 1 = classic serial dispatch.
   int max_concurrent = 0;
-  /// Solution-cache capacity in solutions; 0 disables caching (which
-  /// also makes every kRethreshold/kGraph request fail NOT_FOUND).
-  size_t cache_capacity = 64;
+  /// Byte budget for the in-memory solution tier (entries are charged
+  /// their exact serialized size); 0 disables caching (which also makes
+  /// every kRethreshold/kGraph request fail NOT_FOUND).
+  size_t memory_budget_bytes = 64u << 20;
+  /// Path of the persistent solution store's log; empty = no store (the
+  /// in-memory cache is the only tier and evictions discard). With a
+  /// store, inserts write through, evictions demote, and a restarted
+  /// server answers rethreshold/graph WARM from the log.
+  std::string store_path;
+  /// Ceiling on the store's log file; 0 = unbounded. Enforced by
+  /// oldest-first eviction + compaction (store/solution_store.h).
+  uint64_t disk_budget_bytes = 0;
   /// Bound on memoized labelings per cached solution (each memo carries
   /// full DpcResult copies — see serve/solution_cache.h).
   size_t labelings_per_solution = 16;
@@ -107,17 +118,23 @@ struct ServerStats {
   uint64_t peak_concurrency = 0;    ///< most requests mid-Solve at once
   uint64_t leases_granted = 0;      ///< shard leases taken from the pool
   uint64_t lease_width_total = 0;   ///< sum of granted widths (occupancy)
+  uint64_t warm_misses = 0;   ///< memory misses served from the store
+  uint64_t promotions = 0;    ///< store solutions re-admitted to memory
+  uint64_t demotions = 0;     ///< evictions that kept their store copy
+  uint64_t store_bytes = 0;   ///< current size of the store's log file
 };
 
 class ClusterServer {
  public:
   explicit ClusterServer(ServerOptions options = {})
-      : options_(options),
-        shard_pool_(options.pool_threads),
-        lanes_(options.max_concurrent > 0
-                   ? options.max_concurrent
+      : options_(std::move(options)),
+        shard_pool_(options_.pool_threads),
+        lanes_(options_.max_concurrent > 0
+                   ? options_.max_concurrent
                    : std::clamp(shard_pool_.total() / 2, 1, 4)),
-        cache_(options.cache_capacity, options.labelings_per_solution) {
+        store_(OpenStore(options_)),
+        cache_(options_.memory_budget_bytes, options_.labelings_per_solution,
+               store_.get()) {
     executors_.reserve(static_cast<size_t>(lanes_));
     for (int i = 0; i < lanes_; ++i) {
       executors_.emplace_back([this] { ExecutorLoop(); });
@@ -133,6 +150,9 @@ class ClusterServer {
   DatasetRegistry& datasets() { return datasets_; }
   const DatasetRegistry& datasets() const { return datasets_; }
   SolutionCache& cache() { return cache_; }
+  /// The persistent store behind the cache, or null when store_path was
+  /// empty (or the log failed to open — the server then runs storeless).
+  const store::SolutionStore* store() const { return store_.get(); }
   int lanes() const { return lanes_; }
 
   /// Validates and admits the request; the response arrives through the
@@ -197,10 +217,32 @@ class ClusterServer {
     s.peak_concurrency = peak_concurrency_.load(std::memory_order_relaxed);
     s.leases_granted = leases_granted_.load(std::memory_order_relaxed);
     s.lease_width_total = lease_width_total_.load(std::memory_order_relaxed);
+    const SolutionCache::Stats c = cache_.stats();
+    s.warm_misses = c.warm_misses;
+    s.promotions = c.promotions;
+    s.demotions = c.demotions;
+    if (store_ != nullptr) s.store_bytes = store_->stats().log_bytes;
     return s;
   }
 
  private:
+  /// Opens (creating if needed) the persistent store, replaying its log.
+  /// Failure is survivable — the server runs storeless with a warning —
+  /// EXCEPT silently: the operator sees why restarts will come up cold.
+  static std::unique_ptr<store::SolutionStore> OpenStore(
+      const ServerOptions& options) {
+    if (options.store_path.empty()) return nullptr;
+    store::SolutionStoreOptions store_options;
+    store_options.disk_budget_bytes = options.disk_budget_bytes;
+    auto opened = store::SolutionStore::Open(options.store_path, store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "warning: solution store disabled: %s\n",
+                   opened.status().ToString().c_str());
+      return nullptr;
+    }
+    return std::move(opened).value();
+  }
+
   static std::future<ClusterResponse> Resolved(Status status) {
     std::promise<ClusterResponse> promise;
     ClusterResponse response;
@@ -425,10 +467,15 @@ class ClusterServer {
                const std::string& key, const ThresholdSpec& threshold,
                InflightSettle* settle) {
     (void)settle;  // held by the caller; named here for the contract
+    // LPT-profile-aware width when the registry computed one (skewed
+    // datasets plan wider shards); flat |P| model otherwise.
     const int width =
-        PlanShardWidth(shard_pool_.total(), lanes_,
-                       static_cast<int64_t>(dataset.points.size()),
-                       s.request.priority);
+        dataset.cost_profile.empty()
+            ? PlanShardWidth(shard_pool_.total(), lanes_,
+                             static_cast<int64_t>(dataset.points.size()),
+                             s.request.priority)
+            : PlanShardWidth(shard_pool_.total(), lanes_,
+                             dataset.cost_profile, s.request.priority);
     std::optional<ShardPool::Lease> lease =
         shard_pool_.Acquire(width, s.deadline_at);
     if (!lease.has_value()) {
@@ -495,6 +542,9 @@ class ClusterServer {
   ShardPool shard_pool_;
   const int lanes_;
   DatasetRegistry datasets_;
+  /// Declared before cache_ (which holds a raw pointer into it) so the
+  /// cache dies first on teardown.
+  std::unique_ptr<store::SolutionStore> store_;
   SolutionCache cache_;
   AdmissionQueue queue_;
 

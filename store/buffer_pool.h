@@ -1,0 +1,101 @@
+// Fixed-budget pool of deserialized solutions, fronting the log: a Fetch
+// that hits the pool skips the disk read AND the decode. Plain LRU with
+// byte-accurate accounting (an entry is charged its encoded size, the
+// same number the serve-layer cache charges, so the two tiers' budgets
+// speak the same unit).
+//
+// Not internally locked — SolutionStore's mutex owns it.
+
+#ifndef DPC_STORE_BUFFER_POOL_H_
+#define DPC_STORE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/dpc.h"
+
+namespace dpc::store {
+
+class BufferPool {
+ public:
+  explicit BufferPool(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// Returns the pooled solution (refreshing its recency) or null.
+  std::shared_ptr<const DpcSolution> Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->solution;
+  }
+
+  /// Admits `solution`, evicting least-recently-used entries until it
+  /// fits. An entry larger than the whole budget is not admitted (the
+  /// caller still has its shared_ptr; the pool just won't retain it).
+  void Put(const std::string& key, std::shared_ptr<const DpcSolution> solution,
+           size_t bytes) {
+    Erase(key);
+    if (bytes > budget_bytes_) return;
+    while (bytes_in_use_ + bytes > budget_bytes_ && !lru_.empty()) {
+      EvictBack();
+    }
+    lru_.push_front(Node{key, std::move(solution), bytes});
+    index_[key] = lru_.begin();
+    bytes_in_use_ += bytes;
+    ++insertions_;
+  }
+
+  void Erase(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    bytes_in_use_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  size_t bytes_in_use() const { return bytes_in_use_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+  size_t entries() const { return index_.size(); }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const { return Stats{hits_, misses_, insertions_, evictions_}; }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const DpcSolution> solution;
+    size_t bytes = 0;
+  };
+
+  void EvictBack() {
+    const Node& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+
+  const size_t budget_bytes_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  size_t bytes_in_use_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace dpc::store
+
+#endif  // DPC_STORE_BUFFER_POOL_H_

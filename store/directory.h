@@ -1,0 +1,85 @@
+// Fingerprint-keyed in-memory directory over the solution log: maps a
+// solution key (serve/solution_cache.h MakeSolutionKey — fingerprint,
+// algorithm, canonical options, compute params) to the offset of its
+// newest payload. Rebuilt from scratch by log replay at startup; a later
+// put for the same key supersedes the earlier record (the stale one is
+// dropped at the next compaction), a tombstone removes the key.
+//
+// Not internally locked — SolutionStore's mutex owns it (same discipline
+// as the rest of the store internals).
+
+#ifndef DPC_STORE_DIRECTORY_H_
+#define DPC_STORE_DIRECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dpc::store {
+
+struct DirectoryEntry {
+  uint64_t offset = 0;         ///< byte offset of the payload in the log
+  uint64_t payload_bytes = 0;  ///< encoded solution size
+  uint64_t seq = 0;            ///< monotone put sequence (age for eviction)
+};
+
+class Directory {
+ public:
+  /// Inserts or supersedes. live_payload_bytes() tracks the delta.
+  void Put(const std::string& key, const DirectoryEntry& entry) {
+    auto [it, inserted] = map_.try_emplace(key, entry);
+    if (!inserted) {
+      live_bytes_ -= it->second.payload_bytes;
+      it->second = entry;
+    }
+    live_bytes_ += entry.payload_bytes;
+  }
+
+  bool Erase(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    live_bytes_ -= it->second.payload_bytes;
+    map_.erase(it);
+    return true;
+  }
+
+  const DirectoryEntry* Find(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Sum of live payload bytes — the store's occupancy if it were
+  /// perfectly compacted (log framing overhead excluded).
+  uint64_t live_payload_bytes() const { return live_bytes_; }
+
+  /// Key of the oldest put (smallest seq), or empty when the directory
+  /// is. Disk-budget eviction drops in this order.
+  std::string OldestKey() const {
+    std::string oldest;
+    uint64_t best = ~0ull;
+    for (const auto& [key, entry] : map_) {
+      if (entry.seq < best) {
+        best = entry.seq;
+        oldest = key;
+      }
+    }
+    return oldest;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : map_) fn(key, entry);
+  }
+
+ private:
+  std::unordered_map<std::string, DirectoryEntry> map_;
+  uint64_t live_bytes_ = 0;
+};
+
+}  // namespace dpc::store
+
+#endif  // DPC_STORE_DIRECTORY_H_

@@ -1,0 +1,192 @@
+// Versioned binary encoding of DpcSolution — the unit the solution log
+// stores and the buffer pool caches.
+//
+// Layout (little-endian, raw doubles, same idiom as data/io.h SaveBinary):
+//
+//   magic[4] = "DPSN"     | format version u32
+//   points_fingerprint u64
+//   d_cut f64 | epsilon f64 | compute_cost_seconds f64 | flags u32
+//   algorithm: len u32 + bytes
+//   rho:           count i64 + count f64
+//   delta:         count i64 + count f64
+//   dependency:    count i64 + count i64
+//   density_order: count i64 + count i64   (empty for interrupted solves)
+//   checksum u64 = FNV-1a over every preceding byte
+//
+// The checksum makes a record self-verifying independent of the log's
+// framing checksum, so a payload spliced out of a compacted log is still
+// checkable. Doubles round-trip bit-exactly (raw bytes), which is what
+// makes the serve-layer promotion path bit-identical to in-memory.
+//
+// SerializedSolutionBytes() computes the encoded size WITHOUT encoding —
+// the serve-layer cache uses it for byte-accurate GreedyDual accounting.
+
+#ifndef DPC_STORE_SOLUTION_FORMAT_H_
+#define DPC_STORE_SOLUTION_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/dpc.h"
+#include "core/status.h"
+
+namespace dpc::store {
+
+inline constexpr char kSolutionMagic[4] = {'D', 'P', 'S', 'N'};
+inline constexpr uint32_t kSolutionFormatVersion = 1;
+
+namespace internal {
+
+/// Solution flags (bit set) persisted in the header.
+inline constexpr uint32_t kFlagInterrupted = 1u;
+
+template <typename T>
+inline void AppendRaw(const T& v, std::string* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+inline void AppendArray(const std::vector<T>& v, std::string* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendRaw(static_cast<int64_t>(v.size()), out);
+  if (!v.empty()) {
+    out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+  }
+}
+
+/// Bounds-checked sequential reader over an encoded buffer.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : p_(data), left_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (left_ < sizeof(T)) return false;
+    std::memcpy(v, p_, sizeof(T));
+    p_ += sizeof(T);
+    left_ -= sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadArray(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    int64_t count = 0;
+    if (!Read(&count) || count < 0) return false;
+    const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(T);
+    if (bytes > left_) return false;
+    v->resize(static_cast<size_t>(count));
+    if (count > 0) std::memcpy(v->data(), p_, bytes);
+    p_ += bytes;
+    left_ -= bytes;
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, size_t n) {
+    if (left_ < n) return false;
+    out->assign(p_, n);
+    p_ += n;
+    left_ -= n;
+    return true;
+  }
+
+  size_t left() const { return left_; }
+
+ private:
+  const char* p_;
+  size_t left_;
+};
+
+}  // namespace internal
+
+/// Exact EncodeSolution output size — keep in sync with EncodeSolution
+/// (store_test asserts equality).
+inline size_t SerializedSolutionBytes(const DpcSolution& s) {
+  size_t bytes = sizeof(kSolutionMagic) + sizeof(uint32_t);  // magic + version
+  bytes += sizeof(uint64_t);                                 // fingerprint
+  bytes += 3 * sizeof(double) + sizeof(uint32_t);  // params, cost, flags
+  bytes += sizeof(uint32_t) + s.algorithm.size();  // algorithm
+  bytes += 4 * sizeof(int64_t);                    // the four array counts
+  bytes += (s.rho.size() + s.delta.size()) * sizeof(double);
+  bytes += (s.dependency.size() + s.density_order.size()) * sizeof(PointId);
+  bytes += sizeof(uint64_t);  // checksum
+  return bytes;
+}
+
+inline void EncodeSolution(const DpcSolution& s, std::string* out) {
+  out->clear();
+  out->reserve(SerializedSolutionBytes(s));
+  out->append(kSolutionMagic, sizeof(kSolutionMagic));
+  internal::AppendRaw(kSolutionFormatVersion, out);
+  internal::AppendRaw(s.points_fingerprint, out);
+  internal::AppendRaw(s.compute.d_cut, out);
+  internal::AppendRaw(s.compute.epsilon, out);
+  internal::AppendRaw(s.compute_cost_seconds, out);
+  const uint32_t flags = s.interrupted() ? internal::kFlagInterrupted : 0u;
+  internal::AppendRaw(flags, out);
+  internal::AppendRaw(static_cast<uint32_t>(s.algorithm.size()), out);
+  out->append(s.algorithm);
+  internal::AppendArray(s.rho, out);
+  internal::AppendArray(s.delta, out);
+  internal::AppendArray(s.dependency, out);
+  internal::AppendArray(s.density_order, out);
+  const uint64_t checksum = Fnv1aBytes(out->data(), out->size());
+  internal::AppendRaw(checksum, out);
+}
+
+inline StatusOr<DpcSolution> DecodeSolution(const char* data, size_t size) {
+  if (size < sizeof(kSolutionMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("solution record too short");
+  }
+  // Verify the trailing checksum before trusting any field.
+  uint64_t stored = 0;
+  std::memcpy(&stored, data + size - sizeof(uint64_t), sizeof(uint64_t));
+  if (Fnv1aBytes(data, size - sizeof(uint64_t)) != stored) {
+    return Status::InvalidArgument("solution record checksum mismatch");
+  }
+  internal::Reader r(data, size - sizeof(uint64_t));
+  char magic[sizeof(kSolutionMagic)];
+  if (!r.Read(&magic) ||
+      std::memcmp(magic, kSolutionMagic, sizeof(kSolutionMagic)) != 0) {
+    return Status::InvalidArgument("bad solution record magic");
+  }
+  uint32_t version = 0;
+  if (!r.Read(&version)) {
+    return Status::InvalidArgument("solution record truncated");
+  }
+  if (version != kSolutionFormatVersion) {
+    return Status::InvalidArgument("unsupported solution format version " +
+                                   std::to_string(version));
+  }
+  DpcSolution s;
+  uint32_t flags = 0;
+  uint32_t algo_len = 0;
+  if (!r.Read(&s.points_fingerprint) || !r.Read(&s.compute.d_cut) ||
+      !r.Read(&s.compute.epsilon) || !r.Read(&s.compute_cost_seconds) ||
+      !r.Read(&flags) || !r.Read(&algo_len) ||
+      !r.ReadBytes(&s.algorithm, algo_len) || !r.ReadArray(&s.rho) ||
+      !r.ReadArray(&s.delta) || !r.ReadArray(&s.dependency) ||
+      !r.ReadArray(&s.density_order) || r.left() != 0) {
+    return Status::InvalidArgument("solution record truncated");
+  }
+  if (s.delta.size() != s.rho.size() || s.dependency.size() != s.rho.size() ||
+      (!s.density_order.empty() && s.density_order.size() != s.rho.size())) {
+    return Status::InvalidArgument("solution record arrays disagree on n");
+  }
+  s.stats.interrupted = (flags & internal::kFlagInterrupted) != 0;
+  return s;
+}
+
+inline StatusOr<DpcSolution> DecodeSolution(const std::string& buf) {
+  return DecodeSolution(buf.data(), buf.size());
+}
+
+}  // namespace dpc::store
+
+#endif  // DPC_STORE_SOLUTION_FORMAT_H_

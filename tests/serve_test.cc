@@ -1,10 +1,14 @@
 // The serve/ subsystem: dataset fingerprint stability, the two-tier
 // SolutionCache (solution-tier keying, cost-scaled eviction determinism,
-// label memoization), admission-queue priority order, end-to-end serving
-// (responses bit-identical to direct Run), the re-threshold /
-// decision-graph fast path (zero recompute, asserted via server stats),
-// mixed-deadline batches, error paths, and concurrent submissions (the
-// TSan CI job runs this binary).
+// byte-budget accounting, label memoization, demotion/promotion against
+// a backing store), LPT-profile-aware shard width planning,
+// admission-queue priority order, end-to-end serving (responses
+// bit-identical to direct Run), the re-threshold / decision-graph fast
+// path (zero recompute, asserted via server stats), mixed-deadline
+// batches, error paths, and concurrent submissions (the TSan CI job
+// runs this binary).
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -21,7 +25,10 @@
 #include "serve/request.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
+#include "serve/shard_pool.h"
 #include "serve/solution_cache.h"
+#include "store/solution_format.h"
+#include "store/solution_store.h"
 #include "tests/test_util.h"
 
 namespace {
@@ -99,6 +106,10 @@ std::shared_ptr<const dpc::DpcSolution> TinySolution() {
   return s;
 }
 
+/// The cache charges an entry its exact serialized size, so test budgets
+/// are expressed in units of one TinySolution.
+size_t TinyBytes() { return dpc::store::SerializedSolutionBytes(*TinySolution()); }
+
 dpc::ThresholdSpec Spec(double rho_min, double delta_min) {
   dpc::ThresholdSpec spec;
   spec.rho_min = rho_min;
@@ -107,7 +118,7 @@ dpc::ThresholdSpec Spec(double rho_min, double delta_min) {
 }
 
 void TestSolutionCacheTwoTier() {
-  dpc::serve::SolutionCache cache(4);
+  dpc::serve::SolutionCache cache(4 * TinyBytes());
   CHECK(cache.enabled());
   CHECK(cache.Lookup("a") == nullptr);
   CHECK(cache.Finalize("a", Spec(2.0, 5.0)) == nullptr);
@@ -139,7 +150,7 @@ void TestSolutionCacheTwoTier() {
 
   // The per-entry memo is bounded: with a bound of 2, sweeping 3
   // thresholds evicts the least recently used labeling.
-  dpc::serve::SolutionCache bounded(2, 2);
+  dpc::serve::SolutionCache bounded(2 * TinyBytes(), 2);
   bounded.Insert("a", TinySolution(), 1.0);
   (void)bounded.Finalize("a", Spec(2.0, 5.0));
   (void)bounded.Finalize("a", Spec(2.0, 20.0));
@@ -147,7 +158,7 @@ void TestSolutionCacheTwoTier() {
   (void)bounded.Finalize("a", Spec(2.0, 5.0));   // recomputed
   CHECK_EQ(bounded.stats().finalizations, 4u);
 
-  // Capacity 0 disables caching entirely.
+  // A zero byte budget disables caching entirely.
   dpc::serve::SolutionCache off(0);
   CHECK(!off.enabled());
   off.Insert("a", TinySolution(), 1.0);
@@ -156,10 +167,11 @@ void TestSolutionCacheTwoTier() {
 }
 
 void TestSolutionCacheCostAwareEviction() {
-  // GreedyDual (cost-scaled LRU): an expensive solution outlives many
-  // cheap ones, but inflation eventually ages it out. The whole sequence
-  // is deterministic.
-  dpc::serve::SolutionCache cache(2);
+  // GreedyDual-Size (cost-per-byte-scaled LRU): an expensive solution
+  // outlives many cheap ones, but inflation eventually ages it out. The
+  // entries here are all one TinySolution in size, so credits order
+  // exactly as cost and the whole sequence is deterministic.
+  dpc::serve::SolutionCache cache(2 * TinyBytes());
   cache.Insert("expensive", TinySolution(), 10.0);
   cache.Insert("cheap1", TinySolution(), 1.0);
   // Plain LRU would evict "expensive" (least recently used); cost-scaled
@@ -174,8 +186,9 @@ void TestSolutionCacheCostAwareEviction() {
 
   // Aging: with each eviction the inflation level rises by the victim's
   // credit, so a stream of cheap solutions eventually displaces the
-  // expensive one. Credits go 4, 5, ..., 10; the tie at 10 breaks toward
-  // the older entry — "expensive" — on the 8th insert.
+  // expensive one. In units of cost/TinyBytes the credits go 4, 5, ...,
+  // 10; the tie at 10 breaks toward the older entry — "expensive" — on
+  // the 8th insert.
   for (int i = 0; i < 8; ++i) {
     cache.Insert("stream" + std::to_string(i), TinySolution(), 1.0);
   }
@@ -183,13 +196,126 @@ void TestSolutionCacheCostAwareEviction() {
 
   // A hit refreshes the credit: after touching, the expensive entry is
   // again the last to go.
-  dpc::serve::SolutionCache touchy(2);
+  dpc::serve::SolutionCache touchy(2 * TinyBytes());
   touchy.Insert("expensive", TinySolution(), 10.0);
   touchy.Insert("cheap1", TinySolution(), 1.0);
   CHECK(touchy.Lookup("expensive") != nullptr);
   touchy.Insert("cheap2", TinySolution(), 1.0);
   CHECK(touchy.Lookup("expensive") != nullptr);
   CHECK(touchy.Lookup("cheap1") == nullptr);
+}
+
+void TestSolutionCacheByteBudget() {
+  const size_t tiny = TinyBytes();
+  // Room for two tiny entries (plus slack below a third): across an
+  // insert storm, bytes_in_use tracks the resident set exactly and NEVER
+  // exceeds the budget — the acceptance invariant of the byte-budgeted
+  // tier.
+  dpc::serve::SolutionCache cache(2 * tiny + tiny / 2);
+  for (int i = 0; i < 16; ++i) {
+    cache.Insert("k" + std::to_string(i), TinySolution(), 1.0 + i);
+    CHECK(cache.bytes_in_use() <= cache.memory_budget_bytes());
+    CHECK_EQ(cache.bytes_in_use(), cache.size() * tiny);
+  }
+  CHECK_EQ(cache.size(), 2u);
+
+  // An artifact bigger than the whole budget is refused outright — and
+  // refusing it does not evict the resident entries.
+  auto big = std::make_shared<dpc::DpcSolution>();
+  big->algorithm = "test";
+  big->rho.assign(4096, 1.0);
+  big->delta.assign(4096, 1.0);
+  big->dependency.assign(4096, -1);
+  big->density_order = dpc::DensityOrder(big->rho);
+  CHECK(dpc::store::SerializedSolutionBytes(*big) >
+        cache.memory_budget_bytes());
+  cache.Insert("big", big, 100.0);
+  CHECK(cache.Lookup("big") == nullptr);
+  CHECK_EQ(cache.size(), 2u);
+  CHECK(cache.bytes_in_use() <= cache.memory_budget_bytes());
+
+  // Re-inserting an existing key replaces its charge, not doubles it.
+  cache.Insert("k15", TinySolution(), 99.0);
+  CHECK_EQ(cache.bytes_in_use(), 2 * tiny);
+}
+
+/// The cache as the warm tier over a SolutionStore: eviction demotes (the
+/// log keeps the record), a memory miss promotes (warm miss — served
+/// from the store, never recomputed), and the miss taxonomy separates
+/// the two from a true both-tier miss.
+void TestCacheStoreDemotePromote() {
+  const std::string path =
+      "/tmp/dpc_serve_test_tier_" + std::to_string(::getpid()) + ".log";
+  std::remove(path.c_str());
+  auto store = dpc::store::SolutionStore::Open(path);
+  CHECK(store.ok());
+  const size_t tiny = TinyBytes();
+  {
+    dpc::serve::SolutionCache cache(2 * tiny + tiny / 2, 4,
+                                    store.value().get());
+    cache.Insert("a", TinySolution(), 1.0);
+    cache.Insert("b", TinySolution(), 2.0);
+    cache.Insert("c", TinySolution(), 3.0);  // evicts "a" -> demotion
+    auto stats = cache.stats();
+    CHECK_EQ(stats.evictions, 1u);
+    CHECK_EQ(stats.demotions, 1u);
+    CHECK(store.value()->Contains("a"));
+
+    // The demoted key is a WARM miss: promoted back and served.
+    const auto a = cache.Lookup("a");
+    CHECK(a != nullptr);
+    stats = cache.stats();
+    CHECK_EQ(stats.warm_misses, 1u);
+    CHECK_EQ(stats.promotions, 1u);
+    CHECK_EQ(stats.solution_misses, 0u);
+    CHECK(cache.bytes_in_use() <= cache.memory_budget_bytes());
+
+    // Finalize on a now-demoted key takes the same path: finalize-only
+    // against the promoted artifact, labels as if it never left memory.
+    const auto r = cache.Finalize("b", Spec(2.0, 5.0));
+    CHECK(r != nullptr);
+    CHECK(r->label == (std::vector<int64_t>{0, 1, 1, dpc::kNoise}));
+
+    // A key neither tier has is a genuine miss.
+    CHECK(cache.Lookup("nope") == nullptr);
+    CHECK_EQ(cache.stats().solution_misses, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+/// Satellite: PlanShardWidth's LPT-profile overload. A uniform cost
+/// profile plans the flat width; a skewed one widens until the LPT
+/// makespan meets the flat per-lane target (or the budget caps it).
+void TestPlanShardWidthProfiles() {
+  // Flat model baseline: 8 threads over 4 lanes -> width 2 above the
+  // parallel threshold, 1 below it.
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, int64_t{100000}, 0), 2);
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, int64_t{10}, 0), 1);
+
+  // Uniform profile: LPT of 16 x 4000 on 2 threads has makespan 32000,
+  // within 5% of the even-split 32000 -> the flat width stands.
+  const std::vector<double> uniform(16, 4000.0);
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, uniform, 0), 2);
+
+  // One dominant bin: no width can beat its 40000 makespan, so the
+  // planner widens all the way to the budget.
+  std::vector<double> skewed(25, 1000.0);
+  skewed[0] = 40000.0;
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, skewed, 0), 8);
+
+  // Two heavy bins level out at width 3: {30000, 30000, 4000} makespans
+  // 34000 @2 (over the 33600 target) but 30000 @3.
+  const std::vector<double> two_heavy = {30000.0, 30000.0, 4000.0};
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, two_heavy, 0), 3);
+
+  // Below the parallel threshold the profile is ignored — inner loops
+  // run serial anyway.
+  const std::vector<double> small(16, 10.0);
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, small, 0), 1);
+
+  // Priority boosts ride on top, clamped to the budget.
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, uniform, 3), 5);
+  CHECK_EQ(dpc::serve::PlanShardWidth(8, 4, skewed, 3), 8);
 }
 
 void TestSolutionKey() {
@@ -278,7 +404,9 @@ void TestServerEndToEnd() {
 
   dpc::serve::ServerOptions options;
   options.pool_threads = 2;
-  options.cache_capacity = 1;  // tiny, to also exercise server-level eviction
+  // A 30 KB budget fits exactly ONE solution for the 600-point dataset
+  // (each is ~19.3 KB serialized), to also exercise server-level eviction.
+  options.memory_budget_bytes = 30u << 10;
   dpc::serve::ClusterServer server(options);
   server.datasets().Register("pts", points);
 
@@ -425,7 +553,7 @@ void TestMixedDeadlineBatch() {
 
   dpc::serve::ServerOptions options;
   options.pool_threads = 2;
-  options.cache_capacity = 0;  // force both survivors to really run
+  options.memory_budget_bytes = 0;  // force both survivors to really run
   options.batch_window = std::chrono::milliseconds(20);
   options.max_batch = 8;
   dpc::serve::ClusterServer server(options);
@@ -536,7 +664,7 @@ void TestConcurrentSubmissions() {
 
   dpc::serve::ServerOptions options;
   options.pool_threads = 2;
-  options.cache_capacity = 8;
+  options.memory_budget_bytes = 8u << 20;
   dpc::serve::ClusterServer server(options);
   server.datasets().Register("pts", points);
 
@@ -596,7 +724,7 @@ void TestConcurrentExecutionOverlap() {
   dpc::serve::ServerOptions options;
   options.pool_threads = 4;
   options.max_concurrent = 3;
-  options.cache_capacity = 8;
+  options.memory_budget_bytes = 8u << 20;
   options.batch_window = std::chrono::milliseconds(5);
   dpc::serve::ClusterServer server(options);
   CHECK_EQ(server.lanes(), 3);
@@ -670,6 +798,62 @@ void TestConcurrentExecutionOverlap() {
   CHECK_EQ(stats.deadline_exceeded, 0u);
 }
 
+/// Satellite: the stats surface the `dpc_server stats` command prints —
+/// cache byte occupancy and store occupancy — plus the warm-restart
+/// promotion counters, against a real store-backed server.
+void TestServerStoreStats() {
+  const std::string store_path =
+      "/tmp/dpc_serve_test_store_" + std::to_string(::getpid()) + ".log";
+  std::remove(store_path.c_str());
+  const dpc::PointSet points = TestPoints();
+
+  dpc::serve::ClusterRequest request;
+  request.dataset = "pts";
+  request.algorithm = "ex-dpc";
+  request.params = TestParams();
+
+  {
+    dpc::serve::ServerOptions options;
+    options.pool_threads = 2;
+    options.store_path = store_path;
+    dpc::serve::ClusterServer server(options);
+    CHECK(server.store() != nullptr);
+    server.datasets().Register("pts", points);
+    CHECK(server.Submit(request).get().status.ok());
+
+    const auto stats = server.stats();
+    CHECK(stats.store_bytes > 0u);  // the write-through landed in the log
+    CHECK_EQ(server.store()->stats().live_solutions, 1u);
+    CHECK(server.cache().bytes_in_use() > 0u);
+    CHECK(server.cache().bytes_in_use() <=
+          server.cache().memory_budget_bytes());
+  }
+
+  // A restarted server over the same log answers a re-threshold WARM:
+  // the solution promotes from the store (no recompute, ever) and the
+  // labels are bit-identical to a fresh direct Run.
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.store_path = store_path;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+  dpc::serve::ClusterRequest re = request;
+  re.kind = dpc::serve::RequestKind::kRethreshold;
+  re.params.rho_min = 3.0;
+  const auto r = server.Submit(re).get();
+  CHECK(r.status.ok());
+  CHECK(r.cache_hit);
+  const auto stats = server.stats();
+  CHECK_EQ(stats.recomputes, 0u);
+  CHECK(stats.warm_misses >= 1u);
+  CHECK(stats.promotions >= 1u);
+  CHECK(stats.store_bytes > 0u);
+  auto algo = dpc::MakeAlgorithmByName("ex-dpc");
+  CHECK(dpc::test::BitIdenticalLabels(
+      r.result->label, algo.value()->Run(points, re.params).label));
+  std::remove(store_path.c_str());
+}
+
 /// Sharded execution through the server: `sharding=region` requests hit
 /// the SAME cache key as unsharded ones (execution options are stripped
 /// from the solution key), and a sharded compute's labels are
@@ -710,6 +894,9 @@ int main() {
   TestFingerprintAndRegistry();
   TestSolutionCacheTwoTier();
   TestSolutionCacheCostAwareEviction();
+  TestSolutionCacheByteBudget();
+  TestCacheStoreDemotePromote();
+  TestPlanShardWidthProfiles();
   TestSolutionKey();
   TestAdmissionQueuePriority();
   TestServerEndToEnd();
@@ -719,6 +906,7 @@ int main() {
   TestConcurrentSubmissions();
   TestConcurrentExecutionOverlap();
   TestShardedRequestsShareCacheKey();
+  TestServerStoreStats();
   std::printf("serve_test OK\n");
   return 0;
 }
