@@ -355,6 +355,32 @@ inline bool Interrupted(const ExecutionContext& ctx, DpcSolution* solution) {
   return true;
 }
 
+/// Re-tiles a solve's phase laps as back-to-back child spans. Every
+/// algorithm times its phases with consecutive WallTimer::Lap() calls
+/// from the top of SolveImpl, so [solve_start, solve_start + build),
+/// [.., + rho), [.., + delta) reconstructs the real phase intervals to
+/// lap precision — which is how ALL SEVEN algorithms emit per-phase
+/// spans from one integration point (DpcAlgorithm::Solve) with zero
+/// instrumentation inside their bodies. An interrupted run only emits
+/// the phases that actually accumulated time.
+inline void RecordSolvePhaseSpans(obs::Trace* trace, uint64_t parent,
+                                  uint64_t solve_start_ns,
+                                  const DpcStats& stats) {
+  const struct {
+    const char* name;
+    double seconds;
+  } phases[] = {{"solve/build", stats.build_seconds},
+                {"solve/rho", stats.rho_seconds},
+                {"solve/delta", stats.delta_seconds}};
+  uint64_t t = solve_start_ns;
+  for (const auto& [name, seconds] : phases) {
+    if (seconds <= 0.0) continue;
+    const uint64_t end = t + static_cast<uint64_t>(seconds * 1e9);
+    trace->RecordComplete(name, parent, t, end);
+    t = end;
+  }
+}
+
 }  // namespace internal
 
 /// The threshold phase over a solution: labels + centers at O(n) (the
@@ -448,7 +474,10 @@ class DpcAlgorithm {
   DpcSolution Solve(const PointSet& points, const ComputeParams& compute,
                     const ExecutionContext& ctx,
                     uint64_t points_fingerprint = 0) {
+    obs::Trace* const trace = ctx.trace();
+    const uint64_t solve_start_ns = trace != nullptr ? obs::Trace::NowNs() : 0;
     DpcSolution solution = SolveImpl(points, compute, ResolveContext(ctx));
+    const uint64_t impl_end_ns = trace != nullptr ? obs::Trace::NowNs() : 0;
     solution.algorithm = std::string(name());
     solution.compute = compute;
     solution.points_fingerprint = points_fingerprint != 0
@@ -459,6 +488,15 @@ class DpcAlgorithm {
                                     solution.stats.delta_seconds;
     if (!solution.interrupted()) {
       solution.density_order = DensityOrder(solution.rho);
+    }
+    if (trace != nullptr) {
+      internal::RecordSolvePhaseSpans(trace, ctx.span_parent(), solve_start_ns,
+                                      solution.stats);
+      // The metadata stamping above (fingerprint hash when not provided,
+      // density-order sort) is real wall time too; spanning it keeps the
+      // children of a "solve" span summing to its wall.
+      trace->RecordComplete("solve/stamp", ctx.span_parent(), impl_end_ns,
+                            obs::Trace::NowNs());
     }
     return solution;
   }

@@ -252,6 +252,10 @@ inline std::vector<internal::ShardIndex> BuildShardIndexes(
     costs.push_back(static_cast<double>(shard.owned.size() + shard.halo.size()));
   }
   ParallelForWithCosts(exec, costs, [&](int64_t si) {
+    // Per-shard span from the worker thread that builds it (a no-op
+    // without a trace); the context carries the request's parent id, so
+    // cross-thread nesting needs no extra plumbing.
+    obs::ScopedSpan span = exec.Span("shard/index-build");
     internal::BuildShardIndex(points, plan.shards[static_cast<size_t>(si)],
                               &indexes[static_cast<size_t>(si)]);
   });
@@ -268,6 +272,7 @@ inline void ShardedRho(const PointSet& points, double d_cut,
                        const std::vector<internal::ShardIndex>& indexes,
                        std::vector<double>* rho) {
   ParallelForWithCosts(exec, plan.costs, [&](int64_t si) {
+    obs::ScopedSpan span = exec.Span("shard/rho");
     const RegionShard& shard = plan.shards[static_cast<size_t>(si)];
     const internal::ShardIndex& idx = indexes[static_cast<size_t>(si)];
     for (const PointId i : shard.owned) {
@@ -290,6 +295,7 @@ inline void ShardedPeaksAndSnap(const PointSet& points, const UniformGrid& grid,
   const int dim = points.dim();
   peaks->assign(static_cast<size_t>(grid.num_cells()), PointId{-1});
   ParallelForWithCosts(exec, plan.costs, [&](int64_t si) {
+    obs::ScopedSpan span = exec.Span("shard/peaks-snap");
     for (const CellId c : plan.shards[static_cast<size_t>(si)].cells) {
       const std::vector<PointId>& members = grid.members(c);
       PointId peak = members.front();
@@ -347,6 +353,7 @@ inline DpcSolution SolveExDpcSharded(const PointSet& points,
 
   const double d_cut_sq = compute.d_cut * compute.d_cut;
   ParallelForWithCosts(exec, plan.costs, [&](int64_t si) {
+    obs::ScopedSpan span = exec.Span("shard/delta");
     const RegionShard& shard = plan.shards[static_cast<size_t>(si)];
     const internal::ShardIndex& idx = indexes[static_cast<size_t>(si)];
     for (const PointId p : shard.owned) {

@@ -36,10 +36,22 @@
 //                             solution's decision graph; extra key top_k=
 //                             (default 10). Same warm-only contract.
 //   wait                      resolve pending requests, print responses
-//   stats                     print server + cache counters (byte usage
-//                             included) and, with --store, the store line
-//   store                     print persistent-store occupancy (log
-//                             bytes, live solutions, promotions, ...)
+//   stats                     one JSON line: server + cache counters from
+//                             ONE coherent snapshot, and the store under
+//                             "store" (null without --store)
+//   store                     one JSON line of persistent-store occupancy
+//                             (log bytes, live solutions, puts, ...)
+//   metrics [json]            the server's MetricRegistry: Prometheus
+//                             text format (counters, gauges, request-
+//                             latency histograms with _p50/_p99/_p999
+//                             convenience gauges), or one JSON line with
+//                             `json`
+//   trace on|off|dump FILE    per-request span tracing: `on` attaches a
+//                             fresh trace (queue-wait, cache-probe,
+//                             lease-wait, solve with per-phase children,
+//                             finalize), `off` detaches it, `dump`
+//                             writes everything collected so far as
+//                             Chrome trace-event JSON (chrome://tracing)
 //   quit                      drain, shut down, exit
 //
 // Submissions are asynchronous: issuing several `run` lines before `wait`
@@ -49,6 +61,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,7 +70,10 @@
 #include "core/options.h"
 #include "data/generators.h"
 #include "data/io.h"
+#include "eval/bench_json.h"
 #include "eval/cluster_stats.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 
 namespace {
@@ -80,7 +96,8 @@ int Usage(const char* argv0) {
                "          run NAME ALGO k=v ... | rethreshold NAME ALGO "
                "k=v ... |\n"
                "          graph NAME ALGO k=v ... top_k=N | wait | stats | "
-               "store | quit\n",
+               "store |\n"
+               "          metrics [json] | trace on|off|dump FILE | quit\n",
                argv0);
   return 2;
 }
@@ -128,6 +145,90 @@ void PrintResponse(const Pending& p, const dpc::serve::ClusterResponse& r) {
       r.run_seconds * 1e3);
 }
 
+/// The `stats` line: ONE ServerStats snapshot (whose cache block is one
+/// coherent SolutionCache copy — hits + warm + misses == lookups holds
+/// in the printed object) rendered as a single JSON line with a fixed
+/// key order, so CI sessions parse it instead of grepping free text.
+std::string StatsJson(const dpc::serve::ClusterServer& server) {
+  const dpc::serve::ServerStats s = server.stats();
+  const dpc::serve::SolutionCache::Stats& c = s.cache;
+  char buf[1024];
+  std::string out;
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"server\":{\"submitted\":%llu,\"completed\":%llu,"
+      "\"cache_hits\":%llu,\"recomputes\":%llu,\"rethreshold_served\":%llu,"
+      "\"deadline_exceeded\":%llu,\"errors\":%llu,\"peak_concurrency\":%llu,"
+      "\"leases_granted\":%llu,\"lease_width_total\":%llu},",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.recomputes),
+      static_cast<unsigned long long>(s.rethreshold_served),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.errors),
+      static_cast<unsigned long long>(s.peak_concurrency),
+      static_cast<unsigned long long>(s.leases_granted),
+      static_cast<unsigned long long>(s.lease_width_total));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"cache\":{\"lookups\":%llu,\"solution_hits\":%llu,"
+      "\"solution_misses\":%llu,\"warm_misses\":%llu,\"promotions\":%llu,"
+      "\"demotions\":%llu,\"insertions\":%llu,\"evictions\":%llu,"
+      "\"label_hits\":%llu,\"finalizations\":%llu,\"entries\":%llu,"
+      "\"bytes_in_use\":%llu,\"budget_bytes\":%llu},",
+      static_cast<unsigned long long>(c.lookups),
+      static_cast<unsigned long long>(c.solution_hits),
+      static_cast<unsigned long long>(c.solution_misses),
+      static_cast<unsigned long long>(c.warm_misses),
+      static_cast<unsigned long long>(c.promotions),
+      static_cast<unsigned long long>(c.demotions),
+      static_cast<unsigned long long>(c.insertions),
+      static_cast<unsigned long long>(c.evictions),
+      static_cast<unsigned long long>(c.label_hits),
+      static_cast<unsigned long long>(c.finalizations),
+      static_cast<unsigned long long>(c.entries),
+      static_cast<unsigned long long>(c.bytes_in_use),
+      static_cast<unsigned long long>(c.budget_bytes));
+  out += buf;
+  if (server.store() != nullptr) {
+    std::snprintf(buf, sizeof(buf), "\"store\":{\"log_bytes\":%llu}}",
+                  static_cast<unsigned long long>(s.store_bytes));
+    out += buf;
+  } else {
+    out += "\"store\":null}";
+  }
+  return out;
+}
+
+/// The `store` line: SolutionStore::stats() is already one coherent
+/// snapshot under the store's own lock.
+std::string StoreJson(const dpc::store::SolutionStore& store) {
+  const dpc::store::SolutionStore::Stats t = store.stats();
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"path\":\"%s\",\"log_bytes\":%llu,\"live_solutions\":%llu,"
+      "\"live_payload_bytes\":%llu,\"puts\":%llu,\"fetches\":%llu,"
+      "\"pool_hits\":%llu,\"log_reads\":%llu,\"decode_failures\":%llu,"
+      "\"compactions\":%llu,\"budget_evictions\":%llu,"
+      "\"pool_bytes_in_use\":%llu}",
+      dpc::eval::JsonEscape(store.path()).c_str(),
+      static_cast<unsigned long long>(t.log_bytes),
+      static_cast<unsigned long long>(t.live_solutions),
+      static_cast<unsigned long long>(t.live_payload_bytes),
+      static_cast<unsigned long long>(t.puts),
+      static_cast<unsigned long long>(t.fetches),
+      static_cast<unsigned long long>(t.pool_hits),
+      static_cast<unsigned long long>(t.log_reads),
+      static_cast<unsigned long long>(t.decode_failures),
+      static_cast<unsigned long long>(t.compactions),
+      static_cast<unsigned long long>(t.budget_evictions),
+      static_cast<unsigned long long>(t.pool_bytes_in_use));
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +272,8 @@ int main(int argc, char** argv) {
   const bool strict = !batch_path.empty();
 
   dpc::serve::ClusterServer server(options);
+  // Survives `trace off` so a later `trace dump` can still export.
+  std::shared_ptr<dpc::obs::Trace> trace_handle;
   std::vector<Pending> pending;
   uint64_t next_id = 1;
   int exit_code = 0;
@@ -305,61 +408,52 @@ int main(int argc, char** argv) {
     } else if (cmd == "wait" && tokens.size() == 1) {
       wait_all();
     } else if (cmd == "stats" && tokens.size() == 1) {
-      const dpc::serve::ServerStats s = server.stats();
-      const dpc::serve::SolutionCache::Stats c = server.cache().stats();
-      std::printf(
-          "server: submitted=%llu completed=%llu cache_hits=%llu "
-          "recomputes=%llu rethreshold_served=%llu deadline_exceeded=%llu "
-          "errors=%llu\n",
-          static_cast<unsigned long long>(s.submitted),
-          static_cast<unsigned long long>(s.completed),
-          static_cast<unsigned long long>(s.cache_hits),
-          static_cast<unsigned long long>(s.recomputes),
-          static_cast<unsigned long long>(s.rethreshold_served),
-          static_cast<unsigned long long>(s.deadline_exceeded),
-          static_cast<unsigned long long>(s.errors));
-      std::printf(
-          "cache: entries=%zu bytes=%zu/%zu solution_hits=%llu "
-          "solution_misses=%llu warm_misses=%llu promotions=%llu "
-          "demotions=%llu evictions=%llu label_hits=%llu "
-          "finalizations=%llu\n",
-          server.cache().size(), server.cache().bytes_in_use(),
-          server.cache().memory_budget_bytes(),
-          static_cast<unsigned long long>(c.solution_hits),
-          static_cast<unsigned long long>(c.solution_misses),
-          static_cast<unsigned long long>(c.warm_misses),
-          static_cast<unsigned long long>(c.promotions),
-          static_cast<unsigned long long>(c.demotions),
-          static_cast<unsigned long long>(c.evictions),
-          static_cast<unsigned long long>(c.label_hits),
-          static_cast<unsigned long long>(c.finalizations));
-      if (server.store() != nullptr) {
-        std::printf("store: bytes=%llu\n",
-                    static_cast<unsigned long long>(s.store_bytes));
-      }
+      std::printf("%s\n", StatsJson(server).c_str());
     } else if (cmd == "store" && tokens.size() == 1) {
       if (server.store() == nullptr) {
         if (fail("no store attached (run with --store PATH)")) break;
         continue;
       }
-      const dpc::store::SolutionStore::Stats t = server.store()->stats();
-      std::printf(
-          "store %s: log_bytes=%llu live_solutions=%llu "
-          "live_payload_bytes=%llu puts=%llu fetches=%llu pool_hits=%llu "
-          "log_reads=%llu decode_failures=%llu compactions=%llu "
-          "budget_evictions=%llu pool_bytes=%llu\n",
-          server.store()->path().c_str(),
-          static_cast<unsigned long long>(t.log_bytes),
-          static_cast<unsigned long long>(t.live_solutions),
-          static_cast<unsigned long long>(t.live_payload_bytes),
-          static_cast<unsigned long long>(t.puts),
-          static_cast<unsigned long long>(t.fetches),
-          static_cast<unsigned long long>(t.pool_hits),
-          static_cast<unsigned long long>(t.log_reads),
-          static_cast<unsigned long long>(t.decode_failures),
-          static_cast<unsigned long long>(t.compactions),
-          static_cast<unsigned long long>(t.budget_evictions),
-          static_cast<unsigned long long>(t.pool_bytes_in_use));
+      std::printf("%s\n", StoreJson(*server.store()).c_str());
+    } else if (cmd == "metrics" &&
+               (tokens.size() == 1 ||
+                (tokens.size() == 2 && tokens[1] == "json"))) {
+      const std::vector<dpc::obs::MetricSample> samples =
+          server.metrics().Snapshot();
+      if (tokens.size() == 2) {
+        std::printf("%s\n", dpc::obs::ToJson(samples).c_str());
+      } else {
+        std::fputs(dpc::obs::ToPrometheusText(samples).c_str(), stdout);
+      }
+    } else if (cmd == "trace" && tokens.size() >= 2) {
+      if (tokens[1] == "on" && tokens.size() == 2) {
+        if (trace_handle == nullptr) {
+          trace_handle = std::make_shared<dpc::obs::Trace>();
+        }
+        server.set_trace(trace_handle);
+        std::printf("trace on\n");
+      } else if (tokens[1] == "off" && tokens.size() == 2) {
+        // Keep the handle so `trace dump` still works after `off`.
+        server.set_trace(nullptr);
+        std::printf("trace off\n");
+      } else if (tokens[1] == "dump" && tokens.size() == 3) {
+        if (trace_handle == nullptr) {
+          if (fail("no trace captured (use `trace on` first)")) break;
+          continue;
+        }
+        const std::string json = trace_handle->ToChromeJson();
+        std::FILE* out = std::fopen(tokens[2].c_str(), "w");
+        if (out == nullptr) {
+          if (fail("cannot open " + tokens[2] + " for writing")) break;
+          continue;
+        }
+        std::fwrite(json.data(), 1, json.size(), out);
+        std::fclose(out);
+        std::printf("trace dump %s: %zu spans\n", tokens[2].c_str(),
+                    trace_handle->size());
+      } else {
+        if (fail("trace needs on, off, or dump FILE")) break;
+      }
     } else if (cmd == "quit" && tokens.size() == 1) {
       break;
     } else {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "parallel/omp_utils.h"
 #include "parallel/thread_pool.h"
 
@@ -112,6 +113,33 @@ class ExecutionContext {
     return copy;
   }
 
+  // --- tracing ---------------------------------------------------------
+  // A context optionally carries a trace and the span id instrumentation
+  // should parent under. Both travel with copies (WithThreads / WithPool
+  // / WithFreshStopState preserve them), so a span opened on a worker
+  // thread lands under the request's root span with no thread-local
+  // state. The default is NO trace: ctx.Span(...) then constructs a
+  // disabled ScopedSpan — no clock read, no allocation (the
+  // zero-cost-off contract tests/obs_test.cc asserts).
+
+  /// A copy carrying `trace` (may be null = tracing off) with child
+  /// spans parented under `span_parent`.
+  ExecutionContext WithTrace(std::shared_ptr<obs::Trace> trace,
+                             uint64_t span_parent = 0) const {
+    ExecutionContext copy = *this;
+    copy.trace_ = std::move(trace);
+    copy.span_parent_ = span_parent;
+    return copy;
+  }
+  /// The active trace, or null when tracing is off.
+  obs::Trace* trace() const { return trace_.get(); }
+  uint64_t span_parent() const { return span_parent_; }
+  /// An RAII span under this context's parent; a no-op when tracing is
+  /// off. `name` must outlive the trace (use string literals).
+  obs::ScopedSpan Span(const char* name) const {
+    return obs::ScopedSpan(trace_.get(), name, span_parent_);
+  }
+
   // --- deadline / cancellation -----------------------------------------
   // Algorithms poll ShouldStop() at phase boundaries; an interrupted run
   // returns with DpcStats::interrupted set and all labels kUnassigned.
@@ -171,6 +199,8 @@ class ExecutionContext {
   ScheduleStrategy strategy_ = ScheduleStrategy::kCostGuided;
   std::shared_ptr<ThreadPool> pool_;
   std::shared_ptr<StopState> stop_;
+  std::shared_ptr<obs::Trace> trace_;  ///< null = tracing off
+  uint64_t span_parent_ = 0;
 };
 
 }  // namespace dpc

@@ -30,10 +30,13 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-# The recorded baseline must demonstrate the SoA fast path actually pays:
-# (result name, metric, minimum value).
+# The recorded baseline must demonstrate the acceptance bars actually
+# hold: (result name, metric, minimum value). bench_serving emits
+# cache_hit/speedup capped at the 10x bar, so a passing run records
+# exactly 10.0; a baseline below 9.5 means the bar itself failed.
 FLOORS = [
     ("kernel_range_count_dim2", "speedup", 2.0),
+    ("cache_hit", "speedup", 9.5),
 ]
 
 

@@ -59,6 +59,9 @@
 #include "core/dpc.h"
 #include "core/registry.h"
 #include "core/status.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/execution_context.h"
 #include "parallel/thread_pool.h"
 #include "serve/dataset_registry.h"
@@ -106,7 +109,13 @@ struct ServerOptions {
   ScheduleStrategy strategy = ScheduleStrategy::kCostGuided;
 };
 
-/// Monotonic counters, snapshotted by stats().
+/// Monotonic counters, snapshotted by stats(). Since PR 9 these are
+/// views over the server's MetricRegistry (ClusterServer::metrics()),
+/// and `cache` is ONE coherent SolutionCache snapshot — every
+/// cache-derived field in a ServerStats comes from a single critical
+/// section, so cross-field invariants (cache.lookups ==
+/// cache.solution_hits + cache.warm_misses + cache.solution_misses)
+/// hold in every copy.
 struct ServerStats {
   uint64_t submitted = 0;
   uint64_t completed = 0;           ///< responded OK (computed or cached)
@@ -122,6 +131,9 @@ struct ServerStats {
   uint64_t promotions = 0;    ///< store solutions re-admitted to memory
   uint64_t demotions = 0;     ///< evictions that kept their store copy
   uint64_t store_bytes = 0;   ///< current size of the store's log file
+  /// The cache's full coherent snapshot (occupancy included); the flat
+  /// warm_misses/promotions/demotions above are copies of its fields.
+  SolutionCache::Stats cache;
 };
 
 class ClusterServer {
@@ -135,6 +147,110 @@ class ClusterServer {
         store_(OpenStore(options_)),
         cache_(options_.memory_budget_bytes, options_.labelings_per_solution,
                store_.get()) {
+    // The server's own registry (NOT obs::MetricRegistry::Default()):
+    // tests and side-by-side servers must never share counters. The
+    // references are cached once here; every hot-path increment after
+    // this is a relaxed atomic op, no registry lock.
+    submitted_ = &metrics_.counter("dpc_requests_total");
+    completed_ = &metrics_.counter("dpc_requests_completed_total");
+    cache_hits_ = &metrics_.counter("dpc_cache_hits_total");
+    recomputes_ = &metrics_.counter("dpc_recomputes_total");
+    rethreshold_served_ = &metrics_.counter("dpc_rethreshold_served_total");
+    deadline_exceeded_ = &metrics_.counter("dpc_deadline_exceeded_total");
+    errors_ = &metrics_.counter("dpc_errors_total");
+    leases_granted_ = &metrics_.counter("dpc_leases_granted_total");
+    lease_width_total_ = &metrics_.counter("dpc_lease_width_total");
+    latency_hist_ = &metrics_.histogram("dpc_request_latency_seconds");
+    queue_hist_ = &metrics_.histogram("dpc_request_queue_seconds");
+    run_hist_ = &metrics_.histogram("dpc_request_run_seconds");
+    // Point-in-time depths/occupancy are sampled at scrape, and the
+    // cache/store publish their multi-field stats through collectors so
+    // each subsystem's sample set is copied under ONE of its own lock
+    // acquisitions (the coherent-snapshot path).
+    metrics_.AddCollector([this](std::vector<obs::MetricSample>* out) {
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_admission_queue_depth",
+          static_cast<double>(queue_.pending())));
+      size_t executor_depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        executor_depth = exec_queue_.size();
+      }
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_executor_queue_depth", static_cast<double>(executor_depth)));
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_pool_threads_in_use",
+          static_cast<double>(shard_pool_.in_use())));
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_pool_threads_total", static_cast<double>(shard_pool_.total())));
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_requests_running",
+          static_cast<double>(running_.load(std::memory_order_relaxed))));
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_peak_concurrency",
+          static_cast<double>(
+              peak_concurrency_.load(std::memory_order_relaxed))));
+      out->push_back(obs::MetricSample::FromGauge(
+          "dpc_executor_lanes", static_cast<double>(lanes_)));
+    });
+    metrics_.AddCollector([this](std::vector<obs::MetricSample>* out) {
+      const SolutionCache::Stats c = cache_.stats();  // one lock, all fields
+      using S = obs::MetricSample;
+      out->push_back(S::FromCounter("dpc_cache_lookups_total",
+                                    static_cast<double>(c.lookups)));
+      out->push_back(S::FromCounter("dpc_cache_solution_hits_total",
+                                    static_cast<double>(c.solution_hits)));
+      out->push_back(S::FromCounter("dpc_cache_solution_misses_total",
+                                    static_cast<double>(c.solution_misses)));
+      out->push_back(S::FromCounter("dpc_cache_warm_misses_total",
+                                    static_cast<double>(c.warm_misses)));
+      out->push_back(S::FromCounter("dpc_cache_promotions_total",
+                                    static_cast<double>(c.promotions)));
+      out->push_back(S::FromCounter("dpc_cache_demotions_total",
+                                    static_cast<double>(c.demotions)));
+      out->push_back(S::FromCounter("dpc_cache_insertions_total",
+                                    static_cast<double>(c.insertions)));
+      out->push_back(S::FromCounter("dpc_cache_evictions_total",
+                                    static_cast<double>(c.evictions)));
+      out->push_back(S::FromCounter("dpc_cache_label_hits_total",
+                                    static_cast<double>(c.label_hits)));
+      out->push_back(S::FromCounter("dpc_cache_finalizations_total",
+                                    static_cast<double>(c.finalizations)));
+      out->push_back(
+          S::FromGauge("dpc_cache_entries", static_cast<double>(c.entries)));
+      out->push_back(S::FromGauge("dpc_cache_bytes_in_use",
+                                  static_cast<double>(c.bytes_in_use)));
+      out->push_back(S::FromGauge("dpc_cache_budget_bytes",
+                                  static_cast<double>(c.budget_bytes)));
+    });
+    if (store_ != nullptr) {
+      metrics_.AddCollector([this](std::vector<obs::MetricSample>* out) {
+        const store::SolutionStore::Stats t = store_->stats();  // one lock
+        using S = obs::MetricSample;
+        out->push_back(
+            S::FromCounter("dpc_store_puts_total", static_cast<double>(t.puts)));
+        out->push_back(S::FromCounter("dpc_store_fetches_total",
+                                      static_cast<double>(t.fetches)));
+        out->push_back(S::FromCounter("dpc_store_pool_hits_total",
+                                      static_cast<double>(t.pool_hits)));
+        out->push_back(S::FromCounter("dpc_store_log_reads_total",
+                                      static_cast<double>(t.log_reads)));
+        out->push_back(S::FromCounter("dpc_store_decode_failures_total",
+                                      static_cast<double>(t.decode_failures)));
+        out->push_back(S::FromCounter("dpc_store_compactions_total",
+                                      static_cast<double>(t.compactions)));
+        out->push_back(S::FromCounter("dpc_store_budget_evictions_total",
+                                      static_cast<double>(t.budget_evictions)));
+        out->push_back(S::FromGauge("dpc_store_log_bytes",
+                                    static_cast<double>(t.log_bytes)));
+        out->push_back(S::FromGauge("dpc_store_live_solutions",
+                                    static_cast<double>(t.live_solutions)));
+        out->push_back(S::FromGauge("dpc_store_live_payload_bytes",
+                                    static_cast<double>(t.live_payload_bytes)));
+        out->push_back(S::FromGauge("dpc_store_pool_bytes_in_use",
+                                    static_cast<double>(t.pool_bytes_in_use)));
+      });
+    }
     executors_.reserve(static_cast<size_t>(lanes_));
     for (int i = 0; i < lanes_; ++i) {
       executors_.emplace_back([this] { ExecutorLoop(); });
@@ -155,6 +271,27 @@ class ClusterServer {
   const store::SolutionStore* store() const { return store_.get(); }
   int lanes() const { return lanes_; }
 
+  /// This server's metric registry: the counters/histograms above plus
+  /// the coherent cache/store/occupancy collectors. Snapshot() is the
+  /// one scrape path (obs/export.h renders it as Prometheus text/JSON).
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  /// Attaches (or detaches, with null) a trace: every subsequently
+  /// executed request emits a "request" span tree — queue wait, cache
+  /// probe, lease wait, solve with per-phase children (and per-shard
+  /// spans from worker threads for sharded runs), cache insert,
+  /// finalize. Requests already in flight keep the trace they started
+  /// with; tracing off is the default and costs nothing.
+  void set_trace(std::shared_ptr<obs::Trace> trace) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_ = std::move(trace);
+  }
+  std::shared_ptr<obs::Trace> trace() const {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    return trace_;
+  }
+
   /// Validates and admits the request; the response arrives through the
   /// returned future once an executor lane serves it. Invalid requests
   /// and submissions after Shutdown resolve immediately (the shutdown
@@ -165,9 +302,9 @@ class ClusterServer {
   /// against a cached solution, so they bypass the queue, the batch
   /// window, and every pool entirely.
   std::future<ClusterResponse> Submit(ClusterRequest request) {
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_->Inc();
     if (const Status s = request.Validate(); !s.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return Resolved(s);
     }
     if (request.kind != RequestKind::kCluster) {
@@ -176,17 +313,30 @@ class ClusterServer {
       // cache-only kinds must not keep answering against a server that is
       // tearing down.
       if (queue_.shutdown_requested()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Inc();
         return Resolved(Status::Cancelled("server is shut down"));
       }
+      // The synchronous path still reports submit->respond latency (the
+      // re-threshold fast path is exactly what p50 should show off) and,
+      // when tracing, a request span with the finalize child.
+      const std::shared_ptr<obs::Trace> trace = this->trace();
+      const auto sync_start = std::chrono::steady_clock::now();
+      obs::ScopedSpan request_span(trace.get(), "request");
+      obs::ScopedSpan finalize_span(trace.get(), "rethreshold-finalize",
+                                    request_span.id());
       std::promise<ClusterResponse> promise;
       promise.set_value(ServeFromCacheOnly(request));
+      finalize_span.End();
+      request_span.End();
+      latency_hist_->Observe(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sync_start)
+                                 .count());
       return promise.get_future();
     }
     bool accepted = true;
     std::future<ClusterResponse> future =
         queue_.Push(std::move(request), &accepted);
-    if (!accepted) errors_.fetch_add(1, std::memory_order_relaxed);
+    if (!accepted) errors_->Inc();
     return future;
   }
 
@@ -206,21 +356,23 @@ class ClusterServer {
 
   ServerStats stats() const {
     ServerStats s;
-    s.submitted = submitted_.load(std::memory_order_relaxed);
-    s.completed = completed_.load(std::memory_order_relaxed);
-    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-    s.recomputes = recomputes_.load(std::memory_order_relaxed);
-    s.rethreshold_served =
-        rethreshold_served_.load(std::memory_order_relaxed);
-    s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-    s.errors = errors_.load(std::memory_order_relaxed);
+    s.submitted = submitted_->value();
+    s.completed = completed_->value();
+    s.cache_hits = cache_hits_->value();
+    s.recomputes = recomputes_->value();
+    s.rethreshold_served = rethreshold_served_->value();
+    s.deadline_exceeded = deadline_exceeded_->value();
+    s.errors = errors_->value();
     s.peak_concurrency = peak_concurrency_.load(std::memory_order_relaxed);
-    s.leases_granted = leases_granted_.load(std::memory_order_relaxed);
-    s.lease_width_total = lease_width_total_.load(std::memory_order_relaxed);
-    const SolutionCache::Stats c = cache_.stats();
-    s.warm_misses = c.warm_misses;
-    s.promotions = c.promotions;
-    s.demotions = c.demotions;
+    s.leases_granted = leases_granted_->value();
+    s.lease_width_total = lease_width_total_->value();
+    // ONE coherent cache snapshot; the flat fields are views of it, so a
+    // ServerStats can never show e.g. promotions from one instant and
+    // warm_misses from another.
+    s.cache = cache_.stats();
+    s.warm_misses = s.cache.warm_misses;
+    s.promotions = s.cache.promotions;
+    s.demotions = s.cache.demotions;
     if (store_ != nullptr) s.store_bytes = store_->stats().log_bytes;
     return s;
   }
@@ -241,6 +393,15 @@ class ClusterServer {
       return nullptr;
     }
     return std::move(opened).value();
+  }
+
+  /// A steady_clock time_point on obs::Trace's ns timeline (same clock,
+  /// same epoch — Trace::NowNs is steady_clock too).
+  static uint64_t ToTraceNs(std::chrono::steady_clock::time_point tp) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
   }
 
   static std::future<ClusterResponse> Resolved(Status status) {
@@ -283,7 +444,7 @@ class ClusterServer {
     const std::shared_ptr<const NamedDataset> dataset =
         ResolveRequest(request, &algo, &response.status);
     if (dataset == nullptr) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return response;
     }
     const std::string key =
@@ -299,15 +460,15 @@ class ClusterServer {
       if (response.result == nullptr) return ColdCache(request, &response);
     }
     response.cache_hit = true;
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    rethreshold_served_.fetch_add(1, std::memory_order_relaxed);
+    completed_->Inc();
+    cache_hits_->Inc();
+    rethreshold_served_->Inc();
     return response;
   }
 
   ClusterResponse ColdCache(const ClusterRequest& request,
                             ClusterResponse* response) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     response->status = Status::NotFound(
         std::string(ToString(request.kind)) +
         " request found no cached solution for this compute configuration; "
@@ -370,28 +531,53 @@ class ClusterServer {
     std::promise<void>* done_;
   };
 
+  /// The one respond path for queued submissions: records the
+  /// submit->respond latency histogram (plus the queue-wait and run-time
+  /// components) and resolves the promise. Every outcome — success,
+  /// deadline, error — flows through here, so the latency distribution
+  /// covers the full mix, not just the happy path.
+  void Respond(Submission& s, ClusterResponse&& response) {
+    latency_hist_->Observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               s.admitted_at)
+                               .count());
+    queue_hist_->Observe(response.queue_seconds);
+    if (response.run_seconds > 0.0) run_hist_->Observe(response.run_seconds);
+    s.promise.set_value(std::move(response));
+  }
+
   void Execute(Submission& s) {
+    // Requests executing when a trace is attached emit a span tree under
+    // one root "request" span; the trace shared_ptr is pinned for the
+    // whole execution so a mid-request set_trace(nullptr) cannot pull it
+    // out from under the spans.
+    const std::shared_ptr<obs::Trace> trace = this->trace();
+    obs::ScopedSpan request_span(trace.get(), "request");
     ClusterResponse response;
     const auto start = std::chrono::steady_clock::now();
     response.queue_seconds =
         std::chrono::duration<double>(start - s.admitted_at).count();
+    if (trace != nullptr) {
+      // The queue wait already happened — record it retroactively from
+      // the admission stamp (same steady_clock timeline as NowNs).
+      trace->RecordComplete("queue-wait", request_span.id(),
+                            ToTraceNs(s.admitted_at), ToTraceNs(start));
+    }
 
     if (start >= s.deadline_at) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_->Inc();
       response.status = Status::DeadlineExceeded(
           "deadline expired after " + std::to_string(response.queue_seconds) +
           "s in queue");
-      s.promise.set_value(std::move(response));
-      return;
+      return Respond(s, std::move(response));
     }
 
     StatusOr<std::unique_ptr<DpcAlgorithm>> algo(Status::Ok());
     const std::shared_ptr<const NamedDataset> dataset =
         ResolveRequest(s.request, &algo, &response.status);
     if (dataset == nullptr) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      s.promise.set_value(std::move(response));
-      return;
+      errors_->Inc();
+      return Respond(s, std::move(response));
     }
 
     const ThresholdSpec threshold = s.request.params.threshold();
@@ -401,14 +587,16 @@ class ClusterServer {
     // Solution-tier hit: ANY threshold is a finalize-only answer — the
     // re-threshold fast path that makes decision-graph exploration a
     // memory-speed workload.
-    if (std::shared_ptr<const DpcResult> cached =
-            cache_.Finalize(key, threshold)) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      response.result = std::move(cached);
-      response.cache_hit = true;
-      s.promise.set_value(std::move(response));
-      return;
+    {
+      obs::ScopedSpan probe(trace.get(), "cache-probe", request_span.id());
+      if (std::shared_ptr<const DpcResult> cached =
+              cache_.Finalize(key, threshold)) {
+        completed_->Inc();
+        cache_hits_->Inc();
+        response.result = std::move(cached);
+        response.cache_hit = true;
+        return Respond(s, std::move(response));
+      }
     }
 
     // In-flight dedup: with several lanes, identical requests can race
@@ -427,34 +615,35 @@ class ClusterServer {
       }
     }
     if (twin.valid()) {
+      obs::ScopedSpan twin_span(trace.get(), "inflight-wait",
+                                request_span.id());
       if (s.deadline_at != std::chrono::steady_clock::time_point::max()) {
         if (twin.wait_until(s.deadline_at) != std::future_status::ready) {
-          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          deadline_exceeded_->Inc();
           response.status = Status::DeadlineExceeded(
               "deadline expired waiting for an identical in-flight request");
-          s.promise.set_value(std::move(response));
-          return;
+          return Respond(s, std::move(response));
         }
       } else {
         twin.wait();
       }
+      twin_span.End();
       if (std::shared_ptr<const DpcResult> cached =
               cache_.Finalize(key, threshold)) {
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        completed_->Inc();
+        cache_hits_->Inc();
         response.result = std::move(cached);
         response.cache_hit = true;
-        s.promise.set_value(std::move(response));
-        return;
+        return Respond(s, std::move(response));
       }
       // The twin failed or the cache is disabled: compute ourselves,
       // without re-registering (a second failure must not cascade waits).
       return Compute(s, std::move(response), *dataset, *algo.value(), key,
-                     threshold, nullptr);
+                     threshold, nullptr, trace, request_span.id());
     }
     InflightSettle settle(this, &key, &inflight_done);
     Compute(s, std::move(response), *dataset, *algo.value(), key, threshold,
-            &settle);
+            &settle, trace, request_span.id());
   }
 
   /// The actual solve: lease a shard of the budget sized from the §4.5
@@ -465,7 +654,9 @@ class ClusterServer {
   void Compute(Submission& s, ClusterResponse response,
                const NamedDataset& dataset, DpcAlgorithm& algo,
                const std::string& key, const ThresholdSpec& threshold,
-               InflightSettle* settle) {
+               InflightSettle* settle,
+               const std::shared_ptr<obs::Trace>& trace,
+               uint64_t request_span_id) {
     (void)settle;  // held by the caller; named here for the contract
     // LPT-profile-aware width when the registry computed one (skewed
     // datasets plan wider shards); flat |P| model otherwise.
@@ -476,18 +667,18 @@ class ClusterServer {
                              s.request.priority)
             : PlanShardWidth(shard_pool_.total(), lanes_,
                              dataset.cost_profile, s.request.priority);
+    obs::ScopedSpan lease_span(trace.get(), "lease-wait", request_span_id);
     std::optional<ShardPool::Lease> lease =
         shard_pool_.Acquire(width, s.deadline_at);
+    lease_span.End();
     if (!lease.has_value()) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_->Inc();
       response.status = Status::DeadlineExceeded(
           "deadline expired waiting for a pool shard");
-      s.promise.set_value(std::move(response));
-      return;
+      return Respond(s, std::move(response));
     }
-    leases_granted_.fetch_add(1, std::memory_order_relaxed);
-    lease_width_total_.fetch_add(static_cast<uint64_t>(lease->width()),
-                                 std::memory_order_relaxed);
+    leases_granted_->Inc();
+    lease_width_total_->Inc(static_cast<uint64_t>(lease->width()));
 
     // Per-request context on the leased pool: deadline and cancellation
     // are this request's alone. The deprecated per-request
@@ -503,39 +694,50 @@ class ClusterServer {
     while (running > peak && !peak_concurrency_.compare_exchange_weak(
                                  peak, running, std::memory_order_relaxed)) {
     }
+    // The solve span parents the per-phase children (solve/build, /rho,
+    // /delta, /stamp — emitted by DpcAlgorithm::Solve) and any per-shard
+    // worker spans; the context carries the trace + parent id down.
+    obs::ScopedSpan solve_span(trace.get(), "solve", request_span_id);
+    if (trace != nullptr) ctx = ctx.WithTrace(trace, solve_span.id());
     const auto run_start = std::chrono::steady_clock::now();
     DpcSolution solution = algo.Solve(dataset.points,
                                       s.request.params.compute(), ctx,
                                       dataset.fingerprint);
+    solve_span.End();
     running_.fetch_sub(1, std::memory_order_relaxed);
     lease->Release();
-    recomputes_.fetch_add(1, std::memory_order_relaxed);
+    recomputes_->Inc();
     response.run_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       run_start)
             .count();
 
     if (solution.interrupted()) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_->Inc();
       response.status = Status::DeadlineExceeded(
           "deadline expired after " + std::to_string(response.run_seconds) +
           "s of execution");
-      s.promise.set_value(std::move(response));
-      return;
+      return Respond(s, std::move(response));
     }
 
     auto shared = std::make_shared<const DpcSolution>(std::move(solution));
-    cache_.Insert(key, shared, shared->compute_cost_seconds);
+    {
+      obs::ScopedSpan insert_span(trace.get(), "cache-insert",
+                                  request_span_id);
+      cache_.Insert(key, shared, shared->compute_cost_seconds);
+    }
     // Label through the cache so this first threshold is memoized and
     // later identical requests alias the same immutable result; the
     // fallback covers a disabled (capacity 0) cache.
+    obs::ScopedSpan finalize_span(trace.get(), "finalize", request_span_id);
     response.result = cache_.Finalize(key, threshold);
     if (response.result == nullptr) {
       response.result =
           std::make_shared<const DpcResult>(FinalizeSolution(*shared, threshold));
     }
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    s.promise.set_value(std::move(response));
+    finalize_span.End();
+    completed_->Inc();
+    Respond(s, std::move(response));
   }
 
   const ServerOptions options_;
@@ -548,17 +750,28 @@ class ClusterServer {
   SolutionCache cache_;
   AdmissionQueue queue_;
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> recomputes_{0};
-  std::atomic<uint64_t> rethreshold_served_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
-  std::atomic<uint64_t> errors_{0};
+  /// The server's metric registry and cached handles into it (set once
+  /// in the constructor; hot-path increments are lock-free). running_ /
+  /// peak_concurrency_ stay raw atomics — the CAS-max update isn't a
+  /// counter op — and are exposed through the gauge collector.
+  obs::MetricRegistry metrics_;
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* recomputes_ = nullptr;
+  obs::Counter* rethreshold_served_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* leases_granted_ = nullptr;
+  obs::Counter* lease_width_total_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Histogram* queue_hist_ = nullptr;
+  obs::Histogram* run_hist_ = nullptr;
   std::atomic<uint64_t> running_{0};
   std::atomic<uint64_t> peak_concurrency_{0};
-  std::atomic<uint64_t> leases_granted_{0};
-  std::atomic<uint64_t> lease_width_total_{0};
+
+  mutable std::mutex trace_mu_;
+  std::shared_ptr<obs::Trace> trace_;  ///< null = tracing off (default)
 
   std::mutex inflight_mu_;
   std::unordered_map<std::string, std::shared_future<void>> inflight_;

@@ -93,7 +93,17 @@ inline std::string MakeThresholdKey(const ThresholdSpec& spec) {
 
 class SolutionCache {
  public:
+  /// One COHERENT snapshot: stats() copies every field (occupancy
+  /// included) under a single mu_ acquisition, and each lookup's
+  /// classification increments `lookups` in the same critical section as
+  /// its hit/warm/miss counter — so the cross-field invariant
+  ///   lookups == solution_hits + warm_misses + solution_misses
+  /// holds in EVERY snapshot, not just quiescent ones
+  /// (tests/serve_test.cc hammers this concurrently). The pre-PR-9 shape
+  /// — stats(), size(), and bytes_in_use() each taking the lock at a
+  /// different time — let scrapes observe torn invariants.
   struct Stats {
+    uint64_t lookups = 0;          ///< classified reads (hit + warm + miss)
     uint64_t solution_hits = 0;    ///< memory-tier hits (Lookup/Finalize)
     uint64_t solution_misses = 0;  ///< missed memory AND the store
     uint64_t warm_misses = 0;  ///< missed memory, served from the store
@@ -103,6 +113,10 @@ class SolutionCache {
     uint64_t evictions = 0;
     uint64_t label_hits = 0;     ///< Finalize served an existing labeling
     uint64_t finalizations = 0;  ///< Finalize ran LabelSolution (O(n))
+    // Occupancy, filled by stats() from the same critical section.
+    uint64_t entries = 0;
+    uint64_t bytes_in_use = 0;
+    uint64_t budget_bytes = 0;
   };
 
   /// memory_budget_bytes bounds the sum of resident entries' serialized
@@ -135,6 +149,7 @@ class SolutionCache {
       std::lock_guard<std::mutex> lock(mu_);
       Entry* entry = Touch(key);
       if (entry != nullptr) {
+        ++stats_.lookups;
         ++stats_.solution_hits;
         return entry->solution;
       }
@@ -156,6 +171,7 @@ class SolutionCache {
       std::lock_guard<std::mutex> lock(mu_);
       Entry* entry = Touch(key);
       if (entry != nullptr) {
+        ++stats_.lookups;
         ++stats_.solution_hits;
         if (auto memo = FindLabeling(entry, threshold_key)) {
           ++stats_.label_hits;
@@ -232,9 +248,15 @@ class SolutionCache {
     return bytes_in_use_;
   }
 
+  /// Every counter AND the occupancy fields, copied under one lock — the
+  /// coherent snapshot path (see Stats).
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s = stats_;
+    s.entries = static_cast<uint64_t>(index_.size());
+    s.bytes_in_use = static_cast<uint64_t>(bytes_in_use_);
+    s.budget_bytes = static_cast<uint64_t>(memory_budget_bytes_);
+    return s;
   }
 
   /// Keys in eviction order — the next victim first (ascending credit,
@@ -284,9 +306,11 @@ class SolutionCache {
         store_ != nullptr ? store_->Fetch(key) : nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     if (fetched == nullptr) {
+      ++stats_.lookups;
       ++stats_.solution_misses;
       return nullptr;
     }
+    ++stats_.lookups;
     ++stats_.warm_misses;
     const auto it = index_.find(key);
     if (it != index_.end()) {

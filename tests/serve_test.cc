@@ -9,7 +9,9 @@
 // runs this binary).
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <limits>
@@ -21,6 +23,9 @@
 #include "core/decision_graph.h"
 #include "core/registry.h"
 #include "data/generators.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/dataset_registry.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
@@ -888,6 +893,160 @@ void TestShardedRequestsShareCacheKey() {
   CHECK(second.result.get() == first.result.get());
 }
 
+void TestCoherentStatsSnapshot() {
+  // The cross-field invariant the telemetry refactor exists to make
+  // observable: every cache lookup is classified exactly once, and
+  // stats() copies counters AND occupancy under ONE lock, so
+  // lookups == solution_hits + warm_misses + solution_misses holds in
+  // every snapshot — including snapshots raced against live traffic.
+  const dpc::PointSet points = TestPoints();
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.memory_budget_bytes = 4u << 20;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const dpc::serve::ServerStats s = server.stats();
+      const dpc::serve::SolutionCache::Stats& c = s.cache;
+      CHECK_EQ(c.lookups, c.solution_hits + c.warm_misses + c.solution_misses);
+    }
+  });
+  for (int i = 0; i < 6; ++i) {
+    dpc::serve::ClusterRequest request;
+    request.dataset = "pts";
+    request.algorithm = "ex-dpc";
+    request.params = TestParams(1500.0 + 250.0 * (i % 3));
+    CHECK(server.Submit(request).get().status.ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+
+  const dpc::serve::ServerStats quiesced = server.stats();
+  CHECK(quiesced.cache.lookups > 0);
+  CHECK_EQ(quiesced.cache.lookups,
+           quiesced.cache.solution_hits + quiesced.cache.warm_misses +
+               quiesced.cache.solution_misses);
+  // The flat legacy fields are views of the same snapshot.
+  CHECK_EQ(quiesced.warm_misses, quiesced.cache.warm_misses);
+  CHECK_EQ(quiesced.promotions, quiesced.cache.promotions);
+}
+
+void TestServerMetricsSurface() {
+  // The registry view must agree with ServerStats, and latency
+  // histograms must cover every completed request with finite tails.
+  const dpc::PointSet points = TestPoints();
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.memory_budget_bytes = 4u << 20;
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+
+  dpc::serve::ClusterRequest request;
+  request.dataset = "pts";
+  request.algorithm = "ex-dpc";
+  request.params = TestParams();
+  CHECK(server.Submit(request).get().status.ok());
+  CHECK(server.Submit(request).get().cache_hit);
+
+  const std::vector<dpc::obs::MetricSample> samples =
+      server.metrics().Snapshot();
+  auto find = [&](const std::string& name) -> const dpc::obs::MetricSample* {
+    for (const dpc::obs::MetricSample& s : samples) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const dpc::obs::MetricSample* submitted = find("dpc_requests_total");
+  const dpc::obs::MetricSample* completed = find("dpc_requests_completed_total");
+  const dpc::obs::MetricSample* hits = find("dpc_cache_hits_total");
+  const dpc::obs::MetricSample* lookups = find("dpc_cache_lookups_total");
+  const dpc::obs::MetricSample* latency = find("dpc_request_latency_seconds");
+  CHECK(submitted != nullptr && completed != nullptr && hits != nullptr &&
+        lookups != nullptr && latency != nullptr);
+  CHECK_EQ(submitted->value, 2.0);
+  CHECK_EQ(completed->value, 2.0);
+  CHECK_EQ(hits->value, 1.0);
+  // The collector publishes the same coherent cache snapshot stats() uses.
+  const dpc::obs::MetricSample* sol_hits = find("dpc_cache_solution_hits_total");
+  const dpc::obs::MetricSample* sol_misses =
+      find("dpc_cache_solution_misses_total");
+  const dpc::obs::MetricSample* warm = find("dpc_cache_warm_misses_total");
+  CHECK(sol_hits != nullptr && sol_misses != nullptr && warm != nullptr);
+  CHECK_EQ(lookups->value, sol_hits->value + sol_misses->value + warm->value);
+  // Both requests flowed through the latency recorder; tails are finite.
+  CHECK_EQ(latency->histogram.count, uint64_t{2});
+  CHECK(std::isfinite(latency->histogram.Percentile(99.0)));
+  CHECK(latency->histogram.Percentile(50.0) > 0.0);
+
+  // The exposition formats render this registry without tripping.
+  const std::string text = dpc::obs::ToPrometheusText(samples);
+  CHECK(text.find("dpc_requests_total 2") != std::string::npos);
+  CHECK(dpc::obs::ToJson(samples).find("\"dpc_requests_total\":2") !=
+        std::string::npos);
+}
+
+void TestServerTraceSpans() {
+  // With a trace attached, one computed request must produce a span tree
+  // whose solve children (re-tiled from DpcStats laps plus the stamp
+  // tail) account for the solve span's wall time, and whose spans all
+  // parent back to the root "request" span.
+  const dpc::PointSet points = TestPoints(17, 1000);
+  dpc::serve::ServerOptions options;
+  options.pool_threads = 2;
+  options.memory_budget_bytes = 0;  // force a real computation
+  dpc::serve::ClusterServer server(options);
+  server.datasets().Register("pts", points);
+  const auto trace = std::make_shared<dpc::obs::Trace>();
+  server.set_trace(trace);
+
+  dpc::serve::ClusterRequest request;
+  request.dataset = "pts";
+  request.algorithm = "ex-dpc";
+  request.params = TestParams();
+  CHECK(server.Submit(request).get().status.ok());
+  server.set_trace(nullptr);
+  server.Shutdown();  // joins the executor: the root span is recorded
+
+  const std::vector<dpc::obs::SpanRecord> spans = trace->Snapshot();
+  const dpc::obs::SpanRecord* request_span = nullptr;
+  const dpc::obs::SpanRecord* solve = nullptr;
+  bool saw_queue_wait = false;
+  for (const dpc::obs::SpanRecord& span : spans) {
+    if (std::string(span.name) == "request") request_span = &span;
+    if (std::string(span.name) == "solve") solve = &span;
+    if (std::string(span.name) == "queue-wait") saw_queue_wait = true;
+  }
+  CHECK(request_span != nullptr);
+  CHECK(solve != nullptr);
+  CHECK(saw_queue_wait);
+  CHECK_EQ(solve->parent, request_span->id);
+
+  // Children of the solve span tile its interval: their summed duration
+  // lands within 20% of the solve wall time (the acceptance bound).
+  double children_seconds = 0.0;
+  size_t solve_children = 0;
+  for (const dpc::obs::SpanRecord& span : spans) {
+    if (span.parent == solve->id) {
+      ++solve_children;
+      children_seconds += span.duration_seconds();
+      CHECK(span.start_ns >= solve->start_ns);
+      CHECK(span.end_ns <= solve->end_ns + 1000000);  // 1ms slack
+    }
+  }
+  CHECK(solve_children >= 2);  // at least rho/delta phases + stamp
+  const double solve_seconds = solve->duration_seconds();
+  CHECK(children_seconds >= 0.8 * solve_seconds);
+  CHECK(children_seconds <= 1.2 * solve_seconds);
+
+  // The dump round-trips as a structurally valid Chrome trace array.
+  const std::string json = trace->ToChromeJson();
+  CHECK(json.front() == '[');
+  CHECK(json.find("\"name\":\"request\"") != std::string::npos);
+}
+
 }  // namespace
 
 int main() {
@@ -907,6 +1066,9 @@ int main() {
   TestConcurrentExecutionOverlap();
   TestShardedRequestsShareCacheKey();
   TestServerStoreStats();
+  TestCoherentStatsSnapshot();
+  TestServerMetricsSurface();
+  TestServerTraceSpans();
   std::printf("serve_test OK\n");
   return 0;
 }
