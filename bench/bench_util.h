@@ -64,6 +64,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
 inline void AddStandardConfig(const eval::BenchConfig& cfg,
                               eval::BenchJsonWriter* json) {
   json->AddConfig("kernel_dispatch", std::string(kernels::DispatchName()));
+  json->AddConfig("kernel_tier", std::string(kernels::ActiveTierName()));
   json->AddConfig("scale", cfg.scale);
   json->AddConfig("max_threads", static_cast<int64_t>(cfg.max_threads));
   json->AddConfig("heavy", static_cast<int64_t>(cfg.heavy ? 1 : 0));
@@ -240,7 +241,7 @@ inline void PrintBanner(const char* artifact, const char* description,
               "DPC_BENCH_SCALE / DPC_BENCH_THREADS / DPC_BENCH_HEAVY to "
               "adjust)\n",
               cfg.scale, cfg.max_threads, cfg.heavy ? 1 : 0,
-              kernels::DispatchName());
+              kernels::DescribeKernels().c_str());
   std::printf("'~' marks O(n^2) baselines measured on a capped sample and "
               "extrapolated quadratically.\n\n");
 }

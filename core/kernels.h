@@ -8,21 +8,29 @@
 // the batch changes is which point's partial sum is in flight — never
 // the rounding of any individual result. That identity is what lets the
 // fast path ship without perturbing a single label (tests/kernels_test,
-// and the determinism suite under both dispatch modes).
+// and the determinism suite under every dispatch mode).
 //
-// Two implementations, selected at configure time via the CMake option
-// DPC_KERNEL_DISPATCH (see the root CMakeLists):
+// Three implementations, selected at configure time via the CMake
+// option DPC_KERNEL_DISPATCH (see the root CMakeLists):
 //
-//   vectorized (default) — column-major loops: for each dimension,
-//     stream the coordinate column with unit stride and accumulate into
-//     a per-point array. Dependence-free across points, so the
-//     auto-vectorizer turns each pass into packed SIMD; counting and
-//     min-reduction scans are branchless. `#pragma omp simd` (enabled
-//     by -fopenmp-simd, no runtime dependency) marks the loops.
-//   portable (-DDPC_KERNEL_DISPATCH=portable, macro DPC_KERNELS_PORTABLE)
-//     — point-major scalar loops in reference order; the fallback for
-//     compilers/targets where the column form pessimizes, and the
-//     oracle the CI matrix keeps compiled and bit-compared.
+//   runtime (default) — one portable fat binary carrying the column
+//     kernels compiled three times (generic/SSE2, AVX2, AVX-512F) in
+//     per-tier translation units with per-file arch flags; a
+//     once-initialized function-pointer table routes every call to the
+//     widest tier CPUID/XGETBV proves the host can execute
+//     (core/kernels_dispatch.h, core/cpu_features.h). Overridable with
+//     DPC_FORCE_KERNEL_TIER=generic|avx2|avx512 or SetActiveTier().
+//   vectorized (-DDPC_KERNEL_DISPATCH=vectorized, macro
+//     DPC_KERNELS_VECTORIZED) — the same column loops inlined at
+//     baseline target codegen, no dispatch indirection: for each
+//     dimension, stream the coordinate column with unit stride and
+//     accumulate into a per-point array. `#pragma omp simd` (enabled by
+//     -fopenmp-simd, no runtime dependency) marks the loops.
+//   portable (-DDPC_KERNEL_DISPATCH=portable, macro
+//     DPC_KERNELS_PORTABLE) — point-major scalar loops in reference
+//     order; the fallback for compilers/targets where the column form
+//     pessimizes, and the oracle the CI matrix keeps compiled and
+//     bit-compared.
 //
 // Cell-local reordering: the grid algorithms optionally build their SoA
 // views in UniformGrid cell order so one cell's members are contiguous
@@ -36,14 +44,15 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "core/dpc.h"
+#include "core/kernels_common.h"
 #include "core/soa.h"
 
-#if defined(__GNUC__) || defined(__clang__)
-#define DPC_KERNELS_RESTRICT __restrict__
-#else
-#define DPC_KERNELS_RESTRICT
+#if defined(DPC_KERNELS_RUNTIME)
+#include "core/kernels_dispatch.h"
 #endif
 
 namespace dpc::kernels {
@@ -56,8 +65,63 @@ inline constexpr bool kPortable =
     false;
 #endif
 
+/// True when the runtime CPU-dispatch mode was selected at configure time.
+inline constexpr bool kRuntimeDispatch =
+#if defined(DPC_KERNELS_RUNTIME)
+    true;
+#else
+    false;
+#endif
+
 /// The compiled dispatch mode, for banners and BENCH_*.json config blocks.
-inline const char* DispatchName() { return kPortable ? "portable" : "vectorized"; }
+inline const char* DispatchName() {
+  return kRuntimeDispatch ? "runtime" : (kPortable ? "portable" : "vectorized");
+}
+
+#if !defined(DPC_KERNELS_RUNTIME)
+// Uniform tier-introspection surface for the configure-time modes, so
+// banners, stats lines, and tier sweeps compile against one API in
+// every build. Without runtime dispatch there is exactly one compiled
+// implementation and nothing to switch: SupportedTiers() is empty
+// (nothing to sweep) and the "active tier" is the dispatch mode itself.
+enum class KernelTier : int { kGeneric = 0, kAvx2 = 1, kAvx512 = 2 };
+inline const char* TierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kGeneric:
+      return "generic";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+inline std::vector<KernelTier> SupportedTiers() { return {}; }
+inline const char* ActiveTierName() { return DispatchName(); }
+inline bool SetActiveTier(KernelTier) { return false; }
+inline bool TierOverrideFellBack() { return false; }
+#endif
+
+/// One human-readable line for startup banners: dispatch mode, the tier
+/// the kernels route to, and (runtime mode) every host-supported tier.
+inline std::string DescribeKernels() {
+  std::string out = DispatchName();
+  out += " dispatch";
+  if (kRuntimeDispatch) {
+    out += ", tier ";
+    out += ActiveTierName();
+    out += " (supported:";
+    for (const KernelTier tier : SupportedTiers()) {
+      out += ' ';
+      out += TierName(tier);
+    }
+    out += ')';
+    if (TierOverrideFellBack()) {
+      out += " [DPC_FORCE_KERNEL_TIER not usable; fell back]";
+    }
+  }
+  return out;
+}
 
 namespace internal {
 
@@ -78,11 +142,31 @@ inline void SetSoaCellReorder(bool enabled) {
   internal::CellReorderFlag().store(enabled, std::memory_order_relaxed);
 }
 
+#if defined(DPC_KERNELS_VECTORIZED_INLINE)
+#error "DPC_KERNELS_VECTORIZED_INLINE is an internal macro"
+#endif
+
+#if !defined(DPC_KERNELS_RUNTIME) && !defined(DPC_KERNELS_PORTABLE)
+// Configure-time "vectorized" mode: inline the column-kernel bodies at
+// the default target arch. Shares core/kernels_tier_impl.inc with the
+// runtime tiers so there is exactly one copy of the loop bodies in the
+// tree.
+#define DPC_TIER_NS header_fused
+#define DPC_TIER_LINKAGE inline
+}  // namespace dpc::kernels
+#include "core/kernels_tier_impl.inc"
+namespace dpc::kernels {
+#undef DPC_TIER_LINKAGE
+#undef DPC_TIER_NS
+#endif
+
 /// out[j] = SquaredDistance(q, soa[begin + j]) for j in [0, count).
 inline void SquaredDistanceBatch(const PointSetSoA& soa, PointId begin,
                                  PointId count, const double* q, double* out) {
+#if defined(DPC_KERNELS_RUNTIME)
+  Active().sqdist(soa, begin, count, q, out);
+#elif defined(DPC_KERNELS_PORTABLE)
   const int dim = soa.dim();
-#if defined(DPC_KERNELS_PORTABLE)
   const PointId stride = soa.size();
   const double* base = soa.Column(0) + begin;
   for (PointId j = 0; j < count; ++j) {
@@ -96,89 +180,7 @@ inline void SquaredDistanceBatch(const PointSetSoA& soa, PointId begin,
     out[j] = s;
   }
 #else
-  // Low dimensions get fused single-pass loops: one traversal of the
-  // columns, no intermediate-buffer traffic. The per-point sum is still
-  // d0*d0 + d1*d1 (+ d2*d2) in ascending dimension order — the same
-  // additions in the same order as the scalar reference (x + 0 is exact),
-  // so results stay bit-identical.
-  if (dim == 2) {
-    const double q0 = q[0], q1 = q[1];
-    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
-    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) {
-      const double d0 = c0[j] - q0;
-      const double d1 = c1[j] - q1;
-      o[j] = d0 * d0 + d1 * d1;
-    }
-    return;
-  }
-  if (dim == 3) {
-    const double q0 = q[0], q1 = q[1], q2 = q[2];
-    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
-    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
-    const double* DPC_KERNELS_RESTRICT c2 = soa.Column(2) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) {
-      const double d0 = c0[j] - q0;
-      const double d1 = c1[j] - q1;
-      const double d2 = c2[j] - q2;
-      o[j] = (d0 * d0 + d1 * d1) + d2 * d2;
-    }
-    return;
-  }
-  if (dim == 1) {
-    const double q0 = q[0];
-    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) {
-      const double d0 = c0[j] - q0;
-      o[j] = d0 * d0;
-    }
-    return;
-  }
-  // General dimensions: column passes into the output buffer, two
-  // dimensions fused per pass to halve the buffer round-trips. The fused
-  // update o[j] = (o[j] + dA*dA) + dB*dB adds the squares in ascending
-  // dimension order — the scalar reference's exact association.
-  {
-    const double q0 = q[0], q1 = q[1];
-    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
-    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) {
-      const double d0 = c0[j] - q0;
-      const double d1 = c1[j] - q1;
-      o[j] = d0 * d0 + d1 * d1;
-    }
-  }
-  int d = 2;
-  for (; d + 1 < dim; d += 2) {
-    const double qa = q[d], qb = q[d + 1];
-    const double* DPC_KERNELS_RESTRICT ca = soa.Column(d) + begin;
-    const double* DPC_KERNELS_RESTRICT cb = soa.Column(d + 1) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) {
-      const double da = ca[j] - qa;
-      const double db = cb[j] - qb;
-      o[j] = (o[j] + da * da) + db * db;
-    }
-  }
-  if (d < dim) {
-    const double qd = q[d];
-    const double* DPC_KERNELS_RESTRICT col = soa.Column(d) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) {
-      const double diff = col[j] - qd;
-      o[j] += diff * diff;
-    }
-  }
+  tiers::header_fused::SquaredDistanceBatch(soa, begin, count, q, out);
 #endif
 }
 
@@ -187,7 +189,9 @@ inline void SquaredDistanceBatch(const PointSetSoA& soa, PointId begin,
 /// (distance 0); callers subtract the self-hit.
 inline PointId RangeCountBatch(const PointSetSoA& soa, PointId begin,
                                PointId count, const double* q, double r_sq) {
-#if defined(DPC_KERNELS_PORTABLE)
+#if defined(DPC_KERNELS_RUNTIME)
+  return Active().range_count(soa, begin, count, q, r_sq);
+#elif defined(DPC_KERNELS_PORTABLE)
   const int dim = soa.dim();
   const PointId stride = soa.size();
   const double* base = soa.Column(0) + begin;
@@ -204,70 +208,18 @@ inline PointId RangeCountBatch(const PointSetSoA& soa, PointId begin,
   }
   return hits;
 #else
-  // Low dimensions: fully fused — distance and branchless count in one
-  // pass, no intermediate buffer. Same ascending-dimension sums as the
-  // scalar reference, and a count is order-insensitive, so the result is
-  // exactly the reference's.
-  const int dim = soa.dim();
-  if (dim == 2) {
-    const double q0 = q[0], q1 = q[1];
-    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
-    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
-    int64_t local = 0;
-#pragma omp simd reduction(+ : local)
-    for (PointId j = 0; j < count; ++j) {
-      const double d0 = c0[j] - q0;
-      const double d1 = c1[j] - q1;
-      local += (d0 * d0 + d1 * d1) <= r_sq ? 1 : 0;
-    }
-    return static_cast<PointId>(local);
-  }
-  if (dim == 3) {
-    const double q0 = q[0], q1 = q[1], q2 = q[2];
-    const double* DPC_KERNELS_RESTRICT c0 = soa.Column(0) + begin;
-    const double* DPC_KERNELS_RESTRICT c1 = soa.Column(1) + begin;
-    const double* DPC_KERNELS_RESTRICT c2 = soa.Column(2) + begin;
-    int64_t local = 0;
-#pragma omp simd reduction(+ : local)
-    for (PointId j = 0; j < count; ++j) {
-      const double d0 = c0[j] - q0;
-      const double d1 = c1[j] - q1;
-      const double d2 = c2[j] - q2;
-      local += ((d0 * d0 + d1 * d1) + d2 * d2) <= r_sq ? 1 : 0;
-    }
-    return static_cast<PointId>(local);
-  }
-  constexpr PointId kTile = 512;
-  double buf[kTile];
-  PointId hits = 0;
-  for (PointId t0 = 0; t0 < count; t0 += kTile) {
-    const PointId len = std::min<PointId>(kTile, count - t0);
-    SquaredDistanceBatch(soa, begin + t0, len, q, buf);
-    int64_t local = 0;
-#pragma omp simd reduction(+ : local)
-    for (PointId j = 0; j < len; ++j) {
-      local += buf[j] <= r_sq ? 1 : 0;
-    }
-    hits += static_cast<PointId>(local);
-  }
-  return hits;
+  return tiers::header_fused::RangeCountBatch(soa, begin, count, q, r_sq);
 #endif
 }
-
-/// Result of MinDistanceBatch: the SoA position of the closest point and
-/// its squared distance. Ties resolve to the LOWEST position (identical
-/// to an ascending scalar scan with a strict '<' update).
-struct MinResult {
-  PointId pos = -1;
-  double d_sq = std::numeric_limits<double>::infinity();
-};
 
 /// argmin_j SquaredDistance(q, soa[begin + j]) over [0, count) — the
 /// delta primitive for predicate-free nearest-neighbor scans.
 inline MinResult MinDistanceBatch(const PointSetSoA& soa, PointId begin,
                                   PointId count, const double* q) {
+#if defined(DPC_KERNELS_RUNTIME)
+  return Active().min_distance(soa, begin, count, q);
+#elif defined(DPC_KERNELS_PORTABLE)
   MinResult best;
-#if defined(DPC_KERNELS_PORTABLE)
   const int dim = soa.dim();
   const PointId stride = soa.size();
   const double* base = soa.Column(0) + begin;
@@ -284,32 +236,10 @@ inline MinResult MinDistanceBatch(const PointSetSoA& soa, PointId begin,
       best.pos = begin + j;
     }
   }
-#else
-  constexpr PointId kTile = 512;
-  double buf[kTile];
-  for (PointId t0 = 0; t0 < count; t0 += kTile) {
-    const PointId len = std::min<PointId>(kTile, count - t0);
-    SquaredDistanceBatch(soa, begin + t0, len, q, buf);
-    double m = std::numeric_limits<double>::infinity();
-#pragma omp simd reduction(min : m)
-    for (PointId j = 0; j < len; ++j) {
-      m = buf[j] < m ? buf[j] : m;
-    }
-    // Strict '<' keeps the earliest tile on cross-tile ties; the inner
-    // find keeps the earliest position within the tile — together,
-    // exactly the ascending scalar scan's answer.
-    if (m < best.d_sq) {
-      for (PointId j = 0; j < len; ++j) {
-        if (buf[j] == m) {
-          best.d_sq = m;
-          best.pos = begin + t0 + j;
-          break;
-        }
-      }
-    }
-  }
-#endif
   return best;
+#else
+  return tiers::header_fused::MinDistanceBatch(soa, begin, count, q);
+#endif
 }
 
 /// out[j] = sum_d a[d] * soa[begin + j][d] — the projection primitive of
@@ -317,8 +247,10 @@ inline MinResult MinDistanceBatch(const PointSetSoA& soa, PointId begin,
 /// scalar dot product bit for bit).
 inline void DotBatch(const PointSetSoA& soa, PointId begin, PointId count,
                      const double* a, double* out) {
+#if defined(DPC_KERNELS_RUNTIME)
+  Active().dot(soa, begin, count, a, out);
+#elif defined(DPC_KERNELS_PORTABLE)
   const int dim = soa.dim();
-#if defined(DPC_KERNELS_PORTABLE)
   const PointId stride = soa.size();
   const double* base = soa.Column(0) + begin;
   for (PointId j = 0; j < count; ++j) {
@@ -330,20 +262,7 @@ inline void DotBatch(const PointSetSoA& soa, PointId begin, PointId count,
     out[j] = s;
   }
 #else
-  {
-    const double ad = a[0];
-    const double* DPC_KERNELS_RESTRICT col = soa.Column(0) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) o[j] = ad * col[j];
-  }
-  for (int d = 1; d < dim; ++d) {
-    const double ad = a[d];
-    const double* DPC_KERNELS_RESTRICT col = soa.Column(d) + begin;
-    double* DPC_KERNELS_RESTRICT o = out;
-#pragma omp simd
-    for (PointId j = 0; j < count; ++j) o[j] += ad * col[j];
-  }
+  tiers::header_fused::DotBatch(soa, begin, count, a, out);
 #endif
 }
 
@@ -353,10 +272,14 @@ inline void DotBatch(const PointSetSoA& soa, PointId begin, PointId count,
 /// reads; per-point arithmetic is the scalar reference verbatim.
 inline void SquaredDistanceGather(const PointSet& points, const PointId* ids,
                                   PointId count, const double* q, double* out) {
+#if defined(DPC_KERNELS_RUNTIME)
+  Active().gather(points, ids, count, q, out);
+#else
   const int dim = points.dim();
   for (PointId k = 0; k < count; ++k) {
     out[k] = SquaredDistance(q, points[ids[k]], dim);
   }
+#endif
 }
 
 }  // namespace dpc::kernels

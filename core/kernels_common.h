@@ -1,0 +1,32 @@
+// Types shared by every implementation of the batched distance kernels:
+// the public header (core/kernels.h), the runtime-dispatch table
+// (core/kernels_dispatch.h), and the per-tier translation units that
+// include core/kernels_tier_impl.inc. Lives in its own header so the
+// dispatch layer can name MinResult without pulling in the kernel
+// bodies (and vice versa).
+#ifndef DPC_CORE_KERNELS_COMMON_H_
+#define DPC_CORE_KERNELS_COMMON_H_
+
+#include <limits>
+
+#include "core/dpc.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DPC_KERNELS_RESTRICT __restrict__
+#else
+#define DPC_KERNELS_RESTRICT
+#endif
+
+namespace dpc::kernels {
+
+/// Result of MinDistanceBatch: the SoA position of the closest point and
+/// its squared distance. Ties resolve to the LOWEST position (identical
+/// to an ascending scalar scan with a strict '<' update).
+struct MinResult {
+  PointId pos = -1;
+  double d_sq = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dpc::kernels
+
+#endif  // DPC_CORE_KERNELS_COMMON_H_

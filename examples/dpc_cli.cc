@@ -42,6 +42,7 @@
 #include "common/string_util.h"
 #include "core/decision_graph.h"
 #include "core/halo.h"
+#include "core/kernels.h"
 #include "core/options.h"
 #include "core/registry.h"
 #include "data/generators.h"
@@ -246,6 +247,8 @@ int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
   if (args.input.empty() && !args.demo) return Usage(argv[0]);
+
+  std::printf("kernels: %s\n", dpc::kernels::DescribeKernels().c_str());
 
   dpc::PointSet points(1);
   if (args.demo) {

@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/kernels.h"
 #include "core/options.h"
 #include "data/generators.h"
 #include "data/io.h"
@@ -159,7 +160,8 @@ std::string StatsJson(const dpc::serve::ClusterServer& server) {
       "{\"server\":{\"submitted\":%llu,\"completed\":%llu,"
       "\"cache_hits\":%llu,\"recomputes\":%llu,\"rethreshold_served\":%llu,"
       "\"deadline_exceeded\":%llu,\"errors\":%llu,\"peak_concurrency\":%llu,"
-      "\"leases_granted\":%llu,\"lease_width_total\":%llu},",
+      "\"leases_granted\":%llu,\"lease_width_total\":%llu,"
+      "\"kernel_dispatch\":\"%s\",\"kernel_tier\":\"%s\"},",
       static_cast<unsigned long long>(s.submitted),
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.cache_hits),
@@ -169,7 +171,8 @@ std::string StatsJson(const dpc::serve::ClusterServer& server) {
       static_cast<unsigned long long>(s.errors),
       static_cast<unsigned long long>(s.peak_concurrency),
       static_cast<unsigned long long>(s.leases_granted),
-      static_cast<unsigned long long>(s.lease_width_total));
+      static_cast<unsigned long long>(s.lease_width_total),
+      dpc::kernels::DispatchName(), dpc::kernels::ActiveTierName());
   out += buf;
   std::snprintf(
       buf, sizeof(buf),
@@ -270,6 +273,9 @@ int main(int argc, char** argv) {
   // are fatal, so a CI session cannot "pass" with failing requests;
   // interactively everything just prints.
   const bool strict = !batch_path.empty();
+
+  // Banner on stderr: batch-mode stdout stays machine-parseable.
+  std::fprintf(stderr, "kernels: %s\n", dpc::kernels::DescribeKernels().c_str());
 
   dpc::serve::ClusterServer server(options);
   // Survives `trace off` so a later `trace dump` can still export.

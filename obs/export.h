@@ -44,6 +44,23 @@ inline std::string FormatJsonNumber(double value) {
   return s;
 }
 
+/// Sample names may embed a Prometheus label block (e.g.
+/// dpc_kernel_tier_info{tier="avx2"}); used as a JSON object key, the
+/// quotes inside it must be escaped.
+inline void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+}
+
+/// The metric family name for `# TYPE` lines: the name minus any
+/// embedded label block.
+inline void AppendFamilyName(const std::string& name, std::string* out) {
+  const size_t brace = name.find('{');
+  out->append(name, 0, brace == std::string::npos ? name.size() : brace);
+}
+
 inline void AppendPrometheusHistogram(const MetricSample& sample,
                                       std::string* out) {
   const HistogramSnapshot& h = sample.histogram;
@@ -100,7 +117,7 @@ inline std::string ToPrometheusText(const std::vector<MetricSample>& samples) {
     switch (sample.kind) {
       case MetricKind::kCounter:
         out += "# TYPE ";
-        out += sample.name;
+        internal::AppendFamilyName(sample.name, &out);
         out += " counter\n";
         out += sample.name;
         out += ' ';
@@ -109,7 +126,7 @@ inline std::string ToPrometheusText(const std::vector<MetricSample>& samples) {
         break;
       case MetricKind::kGauge:
         out += "# TYPE ";
-        out += sample.name;
+        internal::AppendFamilyName(sample.name, &out);
         out += " gauge\n";
         out += sample.name;
         out += ' ';
@@ -131,7 +148,7 @@ inline std::string ToJson(const std::vector<MetricSample>& samples) {
     out += first ? "" : ",";
     first = false;
     out += '"';
-    out += sample.name;
+    internal::AppendJsonEscaped(sample.name, &out);
     out += "\":";
     if (sample.kind == MetricKind::kHistogram) {
       const HistogramSnapshot& h = sample.histogram;

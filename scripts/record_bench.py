@@ -9,35 +9,52 @@ the kernel microbenchmarks (bench_index_micro -> BENCH_kernels.json).
 The emitted document carries no timestamps or host identifiers (see
 eval/bench_json.h), so re-recording on the same code only churns the
 measured numbers. Absolute ns are informational; the regression gate
-compares only within-run *speedup* ratios, which are stable across
-machines.
+compares only within-run *speedup* ratios and fitted complexity
+exponents, which are stable across machines.
+
+--repeats N (recommended for bench_complexity) runs the binary N times
+and aggregates: each result's fitted_exponent becomes the median of the
+repeats, and a fitted_exponent_band = max(0.35, 2 * (max - min)) is
+recorded next to it — the variance-informed upper band the regression
+gate allows before calling a higher exponent a scaling regression.
+Wall-clock metrics keep the last repeat's values (informational only).
 
 Usage:
   scripts/record_bench.py [--build-dir build] [--bench bench_index_micro]
-                          [--out BENCH_kernels.json] [--allow-below-floor]
+                          [--out BENCH_kernels.json] [--repeats N]
+                          [--allow-below-floor]
 
-Refuses to record a baseline whose kernel_range_count_dim2 speedup is
-below 2.0 (the PR acceptance floor for the SoA fast path) unless
---allow-below-floor is given; a baseline recorded below the floor would
-make the CI gate pass on a regressed tree.
+Refuses to record a baseline that fails a FLOORS entry (the PR
+acceptance bars: the SoA fast path's dim-2 range-count >= 2x, the AVX2
+tier's dim-7 sqdist/range-count >= 2x where that tier was measured, the
+serving cache >= 10x) unless --allow-below-floor is given; a baseline
+recorded below the floor would make the CI gate pass on a regressed
+tree.
 """
 
 import argparse
 import json
 import pathlib
+import statistics
 import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 # The recorded baseline must demonstrate the acceptance bars actually
-# hold: (result name, metric, minimum value). bench_serving emits
-# cache_hit/speedup capped at the 10x bar, so a passing run records
-# exactly 10.0; a baseline below 9.5 means the bar itself failed.
+# hold: (result name, metric, minimum value). Entries for cases the
+# bench (or this host's tier support) did not emit are skipped.
+# bench_serving emits cache_hit/speedup capped at the 10x bar, so a
+# passing run records exactly 10.0; a baseline below 9.5 means the bar
+# itself failed.
 FLOORS = [
     ("kernel_range_count_dim2", "speedup", 2.0),
+    ("kernel_sqdist_dim7_avx2", "speedup", 2.0),
+    ("kernel_range_count_dim7_avx2", "speedup", 2.0),
     ("cache_hit", "speedup", 9.5),
 ]
+
+EXPONENT_BAND_FLOOR = 0.35
 
 
 def find_metric(doc, result_name, metric):
@@ -45,6 +62,45 @@ def find_metric(doc, result_name, metric):
         if result.get("name") == result_name:
             return result.get("metrics", {}).get(metric)
     return None
+
+
+def run_bench(binary, tmp_path):
+    print(f"running {binary} --json {tmp_path} ...")
+    subprocess.run([str(binary), "--json", str(tmp_path)], check=True,
+                   cwd=REPO_ROOT)
+    doc = json.loads(tmp_path.read_text())
+    if doc.get("schema") != 1:
+        sys.exit(f"error: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def fold_exponent_repeats(docs):
+    """Median fitted_exponent across repeats + a variance-informed band.
+
+    The last repeat's document is the base (its wall-clock metrics ride
+    along, informational); any result carrying fitted_exponent gets the
+    cross-repeat median and a fitted_exponent_band.
+    """
+    doc = docs[-1]
+    for result in doc.get("results", []):
+        metrics = result.get("metrics", {})
+        if "fitted_exponent" not in metrics:
+            continue
+        values = []
+        for d in docs:
+            v = find_metric(d, result["name"], "fitted_exponent")
+            if isinstance(v, (int, float)):
+                values.append(float(v))
+        if not values:
+            continue
+        spread = max(values) - min(values)
+        metrics["fitted_exponent"] = statistics.median(values)
+        metrics["fitted_exponent_band"] = max(EXPONENT_BAND_FLOOR, 2.0 * spread)
+        print(f"  {result['name']}.fitted_exponent: median "
+              f"{metrics['fitted_exponent']:.3f} over {len(values)} repeats "
+              f"(spread {spread:.3f}, band "
+              f"{metrics['fitted_exponent_band']:.3f})")
+    return doc
 
 
 def main():
@@ -56,6 +112,9 @@ def main():
     parser.add_argument("--out", default="BENCH_kernels.json",
                         help="output file at the repo root "
                              "(default: BENCH_kernels.json)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="run the bench N times and fold fitted_exponent "
+                             "medians + bands into the recorded doc")
     parser.add_argument("--allow-below-floor", action="store_true",
                         help="record even if a FLOORS entry fails "
                              "(for diagnosing regressed trees)")
@@ -65,16 +124,13 @@ def main():
     if not binary.exists():
         sys.exit(f"error: {binary} not found — configure with "
                  f"-DDPC_BUILD_BENCH=ON and build first")
+    if args.repeats < 1:
+        sys.exit("error: --repeats must be >= 1")
 
     out_path = REPO_ROOT / args.out
     tmp_path = out_path.with_suffix(".json.tmp")
-    print(f"running {binary} --json {tmp_path} ...")
-    subprocess.run([str(binary), "--json", str(tmp_path)], check=True,
-                   cwd=REPO_ROOT)
-
-    doc = json.loads(tmp_path.read_text())
-    if doc.get("schema") != 1:
-        sys.exit(f"error: unexpected schema {doc.get('schema')!r}")
+    docs = [run_bench(binary, tmp_path) for _ in range(args.repeats)]
+    doc = fold_exponent_repeats(docs) if args.repeats > 1 else docs[0]
 
     failures = []
     for result_name, metric, minimum in FLOORS:
@@ -92,6 +148,7 @@ def main():
         sys.exit("error: refusing to record a baseline below the "
                  "acceptance floor (use --allow-below-floor to override)")
 
+    tmp_path.write_text(json.dumps(doc, indent=1) + "\n")
     tmp_path.replace(out_path)
     print(f"wrote {out_path.relative_to(REPO_ROOT)}")
     print("commit it to update the recorded trajectory; CI gates against "

@@ -57,6 +57,7 @@
 
 #include "core/decision_graph.h"
 #include "core/dpc.h"
+#include "core/kernels.h"
 #include "core/registry.h"
 #include "core/status.h"
 #include "obs/export.h"
@@ -192,6 +193,17 @@ class ClusterServer {
               peak_concurrency_.load(std::memory_order_relaxed))));
       out->push_back(obs::MetricSample::FromGauge(
           "dpc_executor_lanes", static_cast<double>(lanes_)));
+    });
+    // The selected kernel tier, Prometheus info-style: the identity
+    // rides in labels (export renders sample names verbatim, so the
+    // label block can live in the name), the value is always 1.
+    metrics_.AddCollector([](std::vector<obs::MetricSample>* out) {
+      std::string name = "dpc_kernel_tier_info{dispatch=\"";
+      name += kernels::DispatchName();
+      name += "\",tier=\"";
+      name += kernels::ActiveTierName();
+      name += "\"}";
+      out->push_back(obs::MetricSample::FromGauge(std::move(name), 1.0));
     });
     metrics_.AddCollector([this](std::vector<obs::MetricSample>* out) {
       const SolutionCache::Stats c = cache_.stats();  // one lock, all fields

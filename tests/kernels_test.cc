@@ -1,8 +1,13 @@
 // Batched kernels vs the scalar reference: every kernel in
 // core/kernels.h must be BIT-identical (==, not near) to per-point
 // SquaredDistance / dot calls, across dimensions, odd batch lengths,
-// permuted views, and both dispatch modes (the CI matrix compiles this
-// test under vectorized AND portable dispatch).
+// permuted views, and every dispatch mode (the CI matrix compiles this
+// test under runtime, vectorized, AND portable dispatch). Under runtime
+// dispatch the whole sweep repeats once per host-supported tier
+// (SetActiveTier), so generic/avx2/avx512 codegen all face the same
+// `==` oracle in a single process; the ChooseTier policy (env override,
+// graceful fallback from unsupported/unknown tiers) is unit-tested
+// against synthetic support masks.
 #include <algorithm>
 #include <cstdio>
 #include <limits>
@@ -151,8 +156,86 @@ void TestDim(int dim) {
 
 }  // namespace
 
+constexpr int kDims[] = {1, 2, 3, 4, 7, 8, 16};
+
+#if defined(DPC_KERNELS_RUNTIME)
+
+// The ChooseTier policy as a pure function: forced name x synthetic
+// support mask, independent of what this host actually supports.
+void TestChooseTier() {
+  using dpc::kernels::ChooseTier;
+  using dpc::kernels::KernelTier;
+  constexpr uint32_t kGenericOnly = 0b001;
+  constexpr uint32_t kUpToAvx2 = 0b011;
+  constexpr uint32_t kAll = 0b111;
+  bool fell_back = true;
+
+  // No override: widest supported, no fallback reported.
+  CHECK(ChooseTier(nullptr, kAll, &fell_back) == KernelTier::kAvx512);
+  CHECK(!fell_back);
+  CHECK(ChooseTier("", kUpToAvx2, &fell_back) == KernelTier::kAvx2);
+  CHECK(!fell_back);
+  CHECK(ChooseTier(nullptr, kGenericOnly, &fell_back) == KernelTier::kGeneric);
+  CHECK(!fell_back);
+
+  // Forced supported tier is honored — including deliberately narrower
+  // than the widest available.
+  CHECK(ChooseTier("generic", kAll, &fell_back) == KernelTier::kGeneric);
+  CHECK(!fell_back);
+  CHECK(ChooseTier("avx2", kAll, &fell_back) == KernelTier::kAvx2);
+  CHECK(!fell_back);
+  CHECK(ChooseTier("avx512", kAll, &fell_back) == KernelTier::kAvx512);
+  CHECK(!fell_back);
+
+  // Forced-but-unsupported falls back to the widest supported tier and
+  // reports it; same for unknown names.
+  CHECK(ChooseTier("avx512", kUpToAvx2, &fell_back) == KernelTier::kAvx2);
+  CHECK(fell_back);
+  CHECK(ChooseTier("avx2", kGenericOnly, &fell_back) == KernelTier::kGeneric);
+  CHECK(fell_back);
+  CHECK(ChooseTier("pentium-mmx", kAll, &fell_back) == KernelTier::kAvx512);
+  CHECK(fell_back);
+
+  std::printf("ChooseTier policy OK\n");
+}
+
+void TestTierSweep() {
+  const std::vector<dpc::kernels::KernelTier> tiers =
+      dpc::kernels::SupportedTiers();
+  // Generic is compiled into every binary and runs on every host.
+  CHECK(!tiers.empty());
+  CHECK(tiers.front() == dpc::kernels::KernelTier::kGeneric);
+
+  // Forcing an unsupported tier must fail without touching the active one.
+  const dpc::kernels::KernelTier before = dpc::kernels::ActiveTier();
+  for (int t = 0; t < dpc::kernels::kNumKernelTiers; ++t) {
+    const auto tier = static_cast<dpc::kernels::KernelTier>(t);
+    if ((dpc::kernels::SupportedTierMask() & (1u << t)) == 0) {
+      CHECK(!dpc::kernels::SetActiveTier(tier));
+      CHECK(dpc::kernels::ActiveTier() == before);
+    }
+  }
+
+  // Every supported tier faces the full bitwise sweep in-process.
+  for (const dpc::kernels::KernelTier tier : tiers) {
+    CHECK(dpc::kernels::SetActiveTier(tier));
+    CHECK(dpc::kernels::ActiveTier() == tier);
+    std::printf("--- tier %s ---\n", dpc::kernels::ActiveTierName());
+    for (const int dim : kDims) TestDim(dim);
+  }
+  // Leave the widest tier active, as first-use detection would have.
+  CHECK(dpc::kernels::SetActiveTier(tiers.back()));
+}
+
+#endif  // DPC_KERNELS_RUNTIME
+
 int main() {
-  for (const int dim : {1, 2, 3, 7, 8}) TestDim(dim);
+#if defined(DPC_KERNELS_RUNTIME)
+  TestChooseTier();
+  TestTierSweep();
+#else
+  for (const int dim : kDims) TestDim(dim);
+#endif
   std::printf("kernels_test OK\n");
   return 0;
 }

@@ -984,8 +984,24 @@ void TestServerMetricsSurface() {
   // The exposition formats render this registry without tripping.
   const std::string text = dpc::obs::ToPrometheusText(samples);
   CHECK(text.find("dpc_requests_total 2") != std::string::npos);
-  CHECK(dpc::obs::ToJson(samples).find("\"dpc_requests_total\":2") !=
-        std::string::npos);
+  const std::string json = dpc::obs::ToJson(samples);
+  CHECK(json.find("\"dpc_requests_total\":2") != std::string::npos);
+
+  // The kernel-tier info gauge: labels ride inside the sample name. The
+  // TYPE line must carry the bare family name, the sample line the full
+  // labeled name, and the JSON key must escape the embedded quotes (the
+  // CI telemetry session feeds this line to a real JSON parser).
+  std::string tier_name = "dpc_kernel_tier_info{dispatch=\"";
+  tier_name += dpc::kernels::DispatchName();
+  tier_name += "\",tier=\"";
+  tier_name += dpc::kernels::ActiveTierName();
+  tier_name += "\"}";
+  const dpc::obs::MetricSample* tier_info = find(tier_name);
+  CHECK(tier_info != nullptr);
+  CHECK_EQ(tier_info->value, 1.0);
+  CHECK(text.find("# TYPE dpc_kernel_tier_info gauge\n") != std::string::npos);
+  CHECK(text.find(tier_name + " 1") != std::string::npos);
+  CHECK(json.find("dpc_kernel_tier_info{dispatch=\\\"") != std::string::npos);
 }
 
 void TestServerTraceSpans() {
